@@ -1,0 +1,114 @@
+// Command gdisim is the umbrella CLI of the GDISim reproduction. It runs
+// the multicore-scalability experiments of Chapter 4 (Tables 4.1 and 4.2,
+// Figs. 4-4 and 4-6) and dispatches to the evaluation scenarios.
+//
+// Usage:
+//
+//	gdisim -table 4.1 [-minutes 2] [-scale 0.5]   # Scatter-Gather scaling
+//	gdisim -table 4.2 [-minutes 2] [-scale 0.5]   # H-Dispatch scaling
+//	gdisim -scenario validation|consolidation|multimaster
+//
+// For the full per-chapter reports use cmd/validate, cmd/consolidate and
+// cmd/multimaster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/refdata"
+	"repro/internal/scenarios"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gdisim: ")
+	table := flag.String("table", "", "table to regenerate: 4.1 or 4.2")
+	scenario := flag.String("scenario", "", "scenario smoke-run: validation, consolidation or multimaster")
+	minutes := flag.Float64("minutes", 2, "simulated minutes per speedup measurement")
+	scale := flag.Float64("scale", 0.5, "platform scale for speedup measurement")
+	agentSet := flag.Int("agentset", 0, "H-Dispatch agent-set size (0 = 64, the thesis' best)")
+	flag.Parse()
+
+	switch {
+	case *table == "4.1":
+		speedupTable(scenarios.ScatterGather, refdata.Table41ScatterGather, *minutes, *scale, *agentSet)
+	case *table == "4.2":
+		speedupTable(scenarios.HDispatch, refdata.Table42HDispatch, *minutes, *scale, *agentSet)
+	case *scenario != "":
+		smoke(*scenario)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func speedupTable(mech scenarios.Mechanism, ref []refdata.SpeedupRow, minutes, scale float64, agentSet int) {
+	threads := make([]int, 0, len(ref))
+	for _, r := range ref {
+		threads = append(threads, r.Threads)
+	}
+	fmt.Printf("Measuring %s scaling: %v threads, %.1f simulated minutes at scale %.2f ...\n",
+		mech, threads, minutes, scale)
+	rows, err := scenarios.MeasureEngineSpeedup(mech, threads, minutes, scale, agentSet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	title := "Table 4.1: simulation time and speedup vs threads (classic Scatter-Gather)"
+	if mech == scenarios.HDispatch {
+		title = "Table 4.2: simulation time and speedup vs threads (H-Dispatch, Agent Set=64)"
+	}
+	t := &metrics.Table{
+		Title:   title,
+		Headers: []string{"# of Threads", "Wall time (s)", "Speedup (x)", "Thesis speedup (x)"},
+	}
+	for i, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%.2f", r.Seconds),
+			fmt.Sprintf("%.2f", r.Speedup),
+			fmt.Sprintf("%.2f", ref[i].Speedup))
+	}
+	t.Fprint(os.Stdout)
+	fmt.Println("\nFig. 4-4/4-6 series (speedup vs linear):")
+	for i, r := range rows {
+		fmt.Printf("  %2d threads: measured %.2fx, linear %dx, thesis %.2fx\n",
+			r.Threads, r.Speedup, r.Threads, ref[i].Speedup)
+	}
+}
+
+func smoke(name string) {
+	switch name {
+	case "validation":
+		res, err := scenarios.RunValidation(scenarios.ValidationConfig{Experiment: 1, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("validation experiment 2: app CPU steady mean %.1f%% (physical %.1f%%)\n",
+			res.SteadyMean["app"], refdata.Table52Physical[1]["app"].Mean)
+	case "consolidation":
+		cs, err := scenarios.NewConsolidation(scenarios.CaseConfig{
+			Scale: 0.25, StartHour: 12, EndHour: 16, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs.Run()
+		pct, hr := cs.PeakCPUPct("NA", "app")
+		fmt.Printf("consolidation peak window: Tapp DNA %.1f%% at %.1fh GMT (paper ~73%%)\n", pct, hr)
+	case "multimaster":
+		cs, err := scenarios.NewMultiMaster(scenarios.CaseConfig{
+			Scale: 0.25, StartHour: 12, EndHour: 16, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs.Run()
+		pct, hr := cs.PeakCPUPct("NA", "app")
+		fmt.Printf("multimaster peak window: Tapp DNA %.1f%% at %.1fh GMT (paper ~78%%)\n", pct, hr)
+	default:
+		log.Fatalf("unknown scenario %q", name)
+	}
+}

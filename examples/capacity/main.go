@@ -1,0 +1,106 @@
+// Capacity planning (application 2 of Fig. 1-1): determine the resources
+// required to meet a service-level agreement. The analytic M/M/c model
+// proposes a server count; the simulator then verifies the choice under
+// the full cascade with network and storage stages, sweeping the tier size
+// until the SLA holds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gdisim "repro"
+)
+
+// The SLA: mean response below 1.5 seconds at the busy-hour load.
+const (
+	slaSeconds      = 1.5
+	users           = 800.0
+	opsPerUserHour  = 40.0
+	cpuSecondsPerOp = 0.9 // profiled canonical CPU cost at the app tier
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Analytic first cut: M/M/c with lambda ops/s and mu = 1/service.
+	lambda := users * opsPerUserHour / 3600
+	mu := 1 / cpuSecondsPerOp
+	perServerCores := 8
+	minCores, err := gdisim.RequiredServers(lambda, mu, slaSeconds-cpuSecondsPerOp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analytic := (minCores + perServerCores - 1) / perServerCores
+	fmt.Printf("analytic M/M/c proposal: %d cores => %d servers of %d cores\n",
+		minCores, analytic, perServerCores)
+
+	// Simulate, growing the tier until the measured mean meets the SLA.
+	for servers := analytic; servers <= analytic+4; servers++ {
+		mean, util := simulate(servers, perServerCores)
+		fmt.Printf("  %d servers: mean response %.3f s, app CPU %.1f%%\n",
+			servers, mean, util*100)
+		if mean <= slaSeconds {
+			fmt.Printf("SLA met with %d servers.\n", servers)
+			return
+		}
+	}
+	fmt.Println("SLA not met within the sweep; revisit the hardware class.")
+}
+
+func simulate(servers, cores int) (meanResp, util float64) {
+	sim := gdisim.NewSimulation(gdisim.SimConfig{Step: 0.01, Seed: 9})
+	defer sim.Shutdown()
+	spec := gdisim.InfraSpec{
+		DCs: []gdisim.DCSpec{{
+			Name: "DC", SwitchGbps: 20,
+			ClientLink: gdisim.LinkSpec{Gbps: 10, LatencyMS: 0.5},
+			Tiers: []gdisim.TierSpec{{
+				Name: "app", Servers: servers,
+				Server: gdisim.ServerSpec{
+					CPU:     gdisim.CPUSpec{Sockets: 1, Cores: cores, GHz: 1},
+					MemGB:   32,
+					NICGbps: 10,
+					RAID: &gdisim.RAIDSpec{
+						Disks: 2, Disk: gdisim.DiskSpec{CtrlGbps: 4, MBps: 150, HitRate: 0},
+						CtrlGbps: 4, HitRate: 0,
+					},
+				},
+				LocalLink: gdisim.LinkSpec{Gbps: 10, LatencyMS: 0.45},
+			}},
+		}},
+		Clients: map[string]gdisim.ClientSpec{
+			"DC": {Slots: 128, NICGbps: 1, GHz: 2.5, DiskMBs: 120},
+		},
+	}
+	inf, err := gdisim.Build(sim, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inf.RegisterProbes(sim.Collector)
+
+	op := gdisim.SeqOp("TXN",
+		gdisim.Msg{
+			From: gdisim.End{Role: gdisim.RoleClient},
+			To:   gdisim.End{Role: gdisim.RoleApp, Site: gdisim.SiteMaster},
+			Cost: gdisim.Cost{CPUCycles: cpuSecondsPerOp * 1e9, NetBytes: 50e3},
+		},
+		gdisim.Msg{
+			From: gdisim.End{Role: gdisim.RoleApp, Site: gdisim.SiteMaster},
+			To:   gdisim.End{Role: gdisim.RoleClient},
+			Cost: gdisim.Cost{NetBytes: 200e3},
+		},
+	)
+	sim.AddSource(&gdisim.AppWorkload{
+		App: "SLA", DC: "DC",
+		Users:          gdisim.BusinessDay(users, 0, 24, users),
+		OpsPerUserHour: opsPerUserHour,
+		Ops:            []gdisim.Op{op},
+		APM:            gdisim.SingleMaster([]string{"DC"}, "DC"),
+		Inf:            inf,
+	})
+	sim.RunFor(1200)
+	meanResp, _ = sim.Responses.MeanAll("SLA TXN", "DC")
+	util = sim.Collector.MustSeries("cpu:DC:app").Mean(120, 1200)
+	return meanResp, util
+}

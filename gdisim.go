@@ -1,0 +1,282 @@
+// Package gdisim is a Go reproduction of GDISim, the Global Data
+// Infrastructure Simulator of "Large-Scale Simulator for Global Data
+// Infrastructure Optimization" (Herrero-López, CLUSTER 2011 / MIT thesis).
+//
+// GDISim evaluates the performance, availability and reliability of
+// global, multi-data-center IT infrastructures. Hardware components are
+// modeled as queueing networks (CPUs as p x M/M/q FCFS, links as M/M/1/k
+// PS, RAID and SAN as fork-join structures), aggregated into holons
+// (server, tier, data center); software applications are modeled as
+// message cascades whose messages carry hardware-agnostic cost arrays
+// R = (CPU cycles, network bytes, memory bytes, disk bytes). A discrete
+// time loop drives all agents, parallelized with either the classic
+// Scatter-Gather mechanism or the H-Dispatch pull model of Chapter 4.
+//
+// # Quick start
+//
+//	sim := gdisim.NewSimulation(gdisim.SimConfig{Step: 0.01, Seed: 1})
+//	inf, err := gdisim.Build(sim, spec) // spec: data centers, tiers, WAN
+//	inf.RegisterProbes(sim.Collector)
+//	// attach workloads (gdisim.AppWorkload / SeriesLauncher) and daemons
+//	sim.RunFor(3600)
+//	fmt.Println(sim.Collector.MustSeries("cpu:NA:app").Mean(0, 3600))
+//
+// The thesis' evaluations are packaged as ready-made scenarios:
+// RunValidation (Chapter 5), NewConsolidation (Chapter 6) and
+// NewMultiMaster (Chapter 7). See cmd/validate, cmd/consolidate and
+// cmd/multimaster for complete table/figure regeneration.
+package gdisim
+
+import (
+	"io"
+
+	"repro/internal/background"
+	"repro/internal/cascade"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/hardware"
+	"repro/internal/metrics"
+	"repro/internal/queueing"
+	"repro/internal/scenarios"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Simulation core.
+type (
+	// Simulation owns the discrete time loop, agents, sources and metrics.
+	Simulation = core.Simulation
+	// SimConfig parameterizes a Simulation (step size, seed, engine).
+	SimConfig = core.Config
+	// Engine parallelizes the per-tick agent sweep.
+	Engine = core.Engine
+	// SequentialEngine is the deterministic single-threaded reference.
+	SequentialEngine = core.SequentialEngine
+	// Source injects work into the simulation once per tick.
+	Source = core.Source
+	// SourceFunc adapts a function to the Source interface.
+	SourceFunc = core.SourceFunc
+	// OpRun is a runnable operation instance (advanced users; most callers
+	// go through cascade Instantiate).
+	OpRun = core.OpRun
+)
+
+// NewSimulation builds a simulation; zero-value config selects a 10 ms
+// step, sequential engine and snapshot every second.
+func NewSimulation(cfg SimConfig) *Simulation { return core.NewSimulation(cfg) }
+
+// NewScatterGather returns the classic Scatter-Gather engine of §4.3.4
+// with the given dispatcher thread count.
+func NewScatterGather(threads int) Engine { return dispatch.NewScatterGather(threads) }
+
+// NewHDispatch returns the H-Dispatch engine of §4.3.5; setSize <= 0
+// selects the paper's best agent-set size of 64.
+func NewHDispatch(threads, setSize int) Engine { return dispatch.NewHDispatch(threads, setSize) }
+
+// Topology: specifications and built holons.
+type (
+	// InfraSpec describes the whole infrastructure to build.
+	InfraSpec = topology.InfraSpec
+	// DCSpec describes one data center.
+	DCSpec = topology.DCSpec
+	// TierSpec describes a tier of identical servers.
+	TierSpec = topology.TierSpec
+	// ServerSpec describes one server's hardware.
+	ServerSpec = topology.ServerSpec
+	// ClientSpec describes a data center's client population hardware.
+	ClientSpec = topology.ClientSpec
+	// WANSpec describes a WAN connection between two data centers.
+	WANSpec = topology.WANSpec
+	// Infrastructure is the built root holon.
+	Infrastructure = topology.Infrastructure
+	// DataCenter is a built data-center holon.
+	DataCenter = topology.DataCenter
+	// Tier is a built tier holon.
+	Tier = topology.Tier
+	// Server is a built server holon.
+	Server = topology.Server
+	// Cost is the R parameter array carried by cascade messages.
+	Cost = topology.Cost
+	// Endpoint is a resolved message endpoint.
+	Endpoint = topology.Endpoint
+)
+
+// Hardware component specifications (§3.4.2).
+type (
+	// CPUSpec describes a multi-socket multi-core processor.
+	CPUSpec = hardware.CPUSpec
+	// DiskSpec describes one disk (controller cache + drive).
+	DiskSpec = hardware.DiskSpec
+	// RAIDSpec describes a redundant array of identical disks.
+	RAIDSpec = hardware.RAIDSpec
+	// SANSpec describes a storage area network.
+	SANSpec = hardware.SANSpec
+	// LinkSpec describes a network link (bandwidth, latency, allocation).
+	LinkSpec = hardware.LinkSpec
+)
+
+// Build materializes an infrastructure specification into simulation
+// agents and returns the root holon.
+func Build(sim *Simulation, spec InfraSpec) (*Infrastructure, error) {
+	return topology.Build(sim, spec)
+}
+
+// Software model: message cascades.
+type (
+	// Op is a reusable operation definition (a message cascade).
+	Op = cascade.Op
+	// Msg is one message of a cascade.
+	Msg = cascade.Msg
+	// End is a message endpoint reference (role at a site).
+	End = cascade.End
+	// Role names a holon type (Client, App, DB, FS, Idx, Daemon).
+	Role = cascade.Role
+	// Site selects the local or master data center for an endpoint.
+	Site = cascade.Site
+	// Binding resolves cascade roles to concrete holons for one instance.
+	Binding = cascade.Binding
+)
+
+// Cascade roles and sites, re-exported for building operations.
+const (
+	RoleClient = cascade.Client
+	RoleApp    = cascade.App
+	RoleDB     = cascade.DB
+	RoleFS     = cascade.FS
+	RoleIdx    = cascade.Idx
+	RoleDaemon = cascade.Daemon
+
+	SiteLocal  = cascade.SiteLocal
+	SiteMaster = cascade.SiteMaster
+)
+
+// SeqOp builds an operation whose messages execute strictly in sequence.
+func SeqOp(name string, msgs ...Msg) Op { return cascade.Seq(name, msgs...) }
+
+// NewBinding builds a binding for a client at local manipulating a file
+// owned by master.
+func NewBinding(inf *Infrastructure, local, master *DataCenter) *Binding {
+	return cascade.NewBinding(inf, local, master)
+}
+
+// Instantiate turns an operation plus binding into a runnable OpRun.
+func Instantiate(op Op, b *Binding) (OpRun, error) { return cascade.Instantiate(op, b) }
+
+// EstimateOp returns the isolated (contention-free) duration of an
+// operation under the binding, in seconds.
+func EstimateOp(op Op, b *Binding, step float64) (float64, error) {
+	return cascade.Estimate(op, b, step)
+}
+
+// Workloads.
+type (
+	// Curve is a 24-hour concurrent-user curve (hourly, GMT).
+	Curve = workload.Curve
+	// AccessMatrix maps client locations to file-owner probabilities.
+	AccessMatrix = workload.AccessMatrix
+	// WorkloadSeries is a sequential concatenation of operations (§5.2.2).
+	WorkloadSeries = workload.Series
+	// SeriesLauncher launches series at fixed intervals (Chapter 5).
+	SeriesLauncher = workload.SeriesLauncher
+	// AppWorkload drives an application with Poisson arrivals (Chapters 6-7).
+	AppWorkload = workload.AppWorkload
+)
+
+// BusinessDay builds a diurnal business-hours curve.
+func BusinessDay(peak float64, startGMT, endGMT int, nightFloor float64) Curve {
+	return workload.BusinessDay(peak, startGMT, endGMT, nightFloor)
+}
+
+// SingleMaster returns an access matrix sending every request to master.
+func SingleMaster(dcs []string, master string) AccessMatrix {
+	return workload.SingleMaster(dcs, master)
+}
+
+// Background processes.
+type (
+	// GrowthModel maps data centers to hourly data-generation curves.
+	GrowthModel = background.GrowthModel
+	// SyncDaemon runs SYNCHREP cycles (§6.4.3).
+	SyncDaemon = background.SyncDaemon
+	// IndexDaemon runs INDEXBUILD cycles (§6.4.3).
+	IndexDaemon = background.IndexDaemon
+)
+
+// Metrics.
+type (
+	// Series is a time series of samples.
+	Series = metrics.Series
+	// Table renders aligned text tables.
+	Table = metrics.Table
+	// Responses tracks operation response times by type and location.
+	Responses = metrics.Responses
+)
+
+// RMSE computes the root-mean-square error between two series (Eq. 5.5).
+func RMSE(reference, predicted *Series) (float64, error) { return metrics.RMSE(reference, predicted) }
+
+// Analytic queueing (capacity planning).
+type (
+	// MMc summarizes an analytic M/M/c queue.
+	MMc = queueing.MMc
+)
+
+// ErlangC returns the waiting probability of an M/M/c queue with offered
+// load a Erlangs.
+func ErlangC(c int, a float64) (float64, error) { return queueing.ErlangC(c, a) }
+
+// RequiredServers returns the minimum server count keeping the mean
+// queueing delay below maxWait.
+func RequiredServers(lambda, mu, maxWait float64) (int, error) {
+	return queueing.RequiredServers(lambda, mu, maxWait)
+}
+
+// Scenario documents and result export.
+type (
+	// ScenarioDocument is a JSON-serializable simulator input (§3.2.1).
+	ScenarioDocument = config.Document
+	// WorkloadSpec is the JSON form of one application workload.
+	WorkloadSpec = config.WorkloadSpec
+)
+
+// LoadScenario reads and validates a scenario document from a JSON file.
+func LoadScenario(path string) (*ScenarioDocument, error) { return config.Load(path) }
+
+// ExportSeriesCSV writes series as long-format CSV for external plotting.
+func ExportSeriesCSV(w io.Writer, series map[string]*Series) error {
+	return config.ExportSeriesCSV(w, series)
+}
+
+// CollectorSeries gathers every registered series of a collector for
+// export.
+func CollectorSeries(col *metrics.Collector) map[string]*Series {
+	return config.CollectorSeries(col)
+}
+
+// Thesis scenarios.
+type (
+	// ValidationConfig parameterizes a Chapter 5 validation run.
+	ValidationConfig = scenarios.ValidationConfig
+	// ValidationResult gathers the Chapter 5 outputs.
+	ValidationResult = scenarios.ValidationResult
+	// CaseConfig parameterizes the Chapter 6/7 case studies.
+	CaseConfig = scenarios.CaseConfig
+	// CaseStudy is a built consolidation or multiple-master run.
+	CaseStudy = scenarios.CaseStudy
+)
+
+// RunValidation executes one Chapter 5 validation experiment (0-2).
+func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
+	return scenarios.RunValidation(cfg)
+}
+
+// NewConsolidation builds the Chapter 6 consolidated-platform case study.
+func NewConsolidation(cfg CaseConfig) (*CaseStudy, error) {
+	return scenarios.NewConsolidation(cfg)
+}
+
+// NewMultiMaster builds the Chapter 7 multiple-master case study.
+func NewMultiMaster(cfg CaseConfig) (*CaseStudy, error) {
+	return scenarios.NewMultiMaster(cfg)
+}

@@ -1,0 +1,274 @@
+// Package apps defines the software applications of the case studies —
+// Computer-Aided Design (CAD), Visualization (VIS) and Product Data
+// Management (PDM) — as message cascades with canonical cost tables
+// (Figs. 5-2..5-5, §6.3.2).
+//
+// # Cost calibration
+//
+// The thesis profiled canonical costs on the physical infrastructure and
+// reported the resulting isolated durations (Table 5.1) and steady-state
+// tier utilizations (Table 5.2). This package inverts that: server-side CPU
+// budgets are chosen so the offered load reproduces Table 5.2, and the
+// client-side remainder of each operation is calibrated so the isolated
+// duration reproduces Table 5.1.
+//
+// Derivation of the tier budgets (experiment 2, series rate 1/12+1/29+1/48
+// = 0.1386 series/s, target utilizations 71.6/49.2/49.9/29.2 % from Table
+// 5.2, reconstructed tier sizes 32/32/16/16 cores):
+//
+//	app: 0.716*32/0.1386 = 165.28 core-s per series
+//	db:  0.492*32/0.1386 = 113.60
+//	fs:  0.499*16/0.1386 = 57.60
+//	idx: 0.292*16/0.1386 = 33.68
+//
+// A single task occupies one core, so an operation could never burn 15
+// core-seconds at a tier within a 5-second wall time through one message.
+// The cascades of Figs. 5-2..5-5 carry x4/x10/x12 repetition marks: batches
+// of messages issued in parallel. Fan-out steps of width 4 below reproduce
+// that — they let the per-series tier demand exceed the series wall time
+// while individual tasks stay sub-second, which also keeps queueing delay
+// small below saturation (the "linear operation zone" of §5.2.4).
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/cascade"
+	"repro/internal/refdata"
+)
+
+// ServerGHz is the core frequency used across all scenario servers; CPU
+// budgets below are expressed in seconds at this frequency.
+const ServerGHz = 2.5
+
+// FanOut is the parallel batch width of fan-out steps (the x4 marks of
+// Figs. 5-2..5-5).
+const FanOut = 8
+
+// cyc converts CPU-seconds at ServerGHz into a cycle demand.
+func cyc(seconds float64) float64 { return seconds * ServerGHz * 1e9 }
+
+// FileSizeMB gives the CAD model payload moved by OPEN and SAVE per series
+// type, sized so the Table 5.1 OPEN/SAVE durations leave a plausible
+// client-parse remainder after transfer and server costs.
+var FileSizeMB = map[refdata.SeriesType]float64{
+	refdata.Light:   700,
+	refdata.Average: 2000,
+	refdata.Heavy:   3200,
+}
+
+const mb = 1e6
+
+// Endpoint shorthands for cascade construction.
+var (
+	eC   = cascade.End{Role: cascade.Client}
+	eApp = cascade.End{Role: cascade.App, Site: cascade.SiteMaster}
+	eDB  = cascade.End{Role: cascade.DB, Site: cascade.SiteMaster}
+	eIdx = cascade.End{Role: cascade.Idx, Site: cascade.SiteMaster}
+	eFS  = cascade.End{Role: cascade.FS, Site: cascade.SiteLocal}
+)
+
+func msg(from, to cascade.End, c cascade.R) cascade.Msg {
+	return cascade.Msg{From: from, To: to, Cost: c}
+}
+
+// fan builds a parallel batch of FanOut identical messages.
+func fan(from, to cascade.End, c cascade.R) []cascade.Msg {
+	batch := make([]cascade.Msg, FanOut)
+	for i := range batch {
+		batch[i] = msg(from, to, c)
+	}
+	return batch
+}
+
+// fanChunks splits a heavy fan-out exchange into n sequential fan-out
+// steps, dividing the whole cost array evenly. Total demand and wall time
+// are unchanged; individual task sizes shrink, which keeps head-of-line
+// blocking in the FCFS core queues small below saturation — large transfers
+// and long computations are chunked in real middleware for the same reason.
+func fanChunks(from, to cascade.End, c cascade.R, n int) [][]cascade.Msg {
+	chunk := c.Scale(1 / float64(n))
+	steps := make([][]cascade.Msg, n)
+	for i := range steps {
+		steps[i] = fan(from, to, chunk)
+	}
+	return steps
+}
+
+// single wraps one message as a step.
+func single(from, to cascade.End, c cascade.R) []cascade.Msg {
+	return []cascade.Msg{msg(from, to, c)}
+}
+
+// CADOps returns the eight CAD operations (§5.2.2) for a given payload
+// size, in the canonical order of refdata.CADOperations. Per-operation
+// tier budgets (core-seconds at ServerGHz, summing to the tier budgets in
+// the package comment):
+//
+//	op              app    db    fs    idx
+//	LOGIN           4.80   2.00   -     -
+//	TEXT-SEARCH    15.20   3.20   -     -
+//	FILTER          6.40   1.60   -     -
+//	EXPLORE         8.00  10.00   -     -
+//	SPATIAL-SEARCH  8.40   3.20   -   14.84
+//	SELECT          6.00  10.20   -     -
+//	OPEN           18.40  12.20 12.80   -
+//	SAVE           15.44  14.40 16.00  2.00
+func CADOps(fileMB float64) []cascade.Op {
+	fileBytes := fileMB * mb
+	stripe := fileBytes / FanOut
+
+	login := cascade.Op{Name: "LOGIN", Steps: [][]cascade.Msg{
+		fan(eC, eApp, cascade.R{CPUCycles: cyc(1.2), NetBytes: 8e3, MemBytes: 5 * mb}),
+		fan(eApp, eDB, cascade.R{CPUCycles: cyc(0.5), NetBytes: 10e3}),
+		single(eDB, eApp, cascade.R{NetBytes: 50e3}),
+		single(eApp, eC, cascade.R{NetBytes: 100e3}),
+	}}
+
+	textSearch := cascade.Op{Name: "TEXT-SEARCH"}
+	// Query against the text index previously created by Tidx and hosted
+	// by Tapp (§5.2.2), hence the app-side disk reads.
+	textSearch.Steps = append(textSearch.Steps,
+		fanChunks(eC, eApp, cascade.R{CPUCycles: cyc(1.9), NetBytes: 5e3, MemBytes: 50 * mb, DiskBytes: 8 * mb}, 2)...)
+	textSearch.Steps = append(textSearch.Steps,
+		fan(eApp, eDB, cascade.R{CPUCycles: cyc(0.8), NetBytes: 10e3}))
+	textSearch.Steps = append(textSearch.Steps,
+		fanChunks(eDB, eApp, cascade.R{CPUCycles: cyc(1.9), NetBytes: 100e3}, 2)...)
+	textSearch.Steps = append(textSearch.Steps,
+		single(eApp, eC, cascade.R{NetBytes: 150e3}))
+
+	filter := cascade.Op{Name: "FILTER", Steps: [][]cascade.Msg{
+		fan(eC, eApp, cascade.R{CPUCycles: cyc(0.8), NetBytes: 5e3, MemBytes: 25 * mb}),
+		fan(eApp, eDB, cascade.R{CPUCycles: cyc(0.4), NetBytes: 10e3}),
+		fan(eDB, eApp, cascade.R{CPUCycles: cyc(0.8), NetBytes: 80e3}),
+		single(eApp, eC, cascade.R{NetBytes: 80e3}),
+	}}
+
+	explore := cascade.Op{Name: "EXPLORE"}
+	for i := 0; i < 5; i++ { // five round trips navigating the tree (Fig. 5-3, x12)
+		explore.Steps = append(explore.Steps,
+			fan(eC, eApp, cascade.R{CPUCycles: cyc(0.4), NetBytes: 4e3}),
+			fan(eApp, eDB, cascade.R{CPUCycles: cyc(0.5), NetBytes: 20e3, DiskBytes: 2 * mb}),
+			single(eApp, eC, cascade.R{NetBytes: 60e3}),
+		)
+	}
+
+	spatial := cascade.Op{Name: "SPATIAL-SEARCH", Steps: [][]cascade.Msg{
+		fan(eC, eApp, cascade.R{CPUCycles: cyc(0.5), NetBytes: 5e3}),
+		fan(eApp, eDB, cascade.R{CPUCycles: cyc(0.8), NetBytes: 20e3}),
+		fan(eDB, eApp, cascade.R{CPUCycles: cyc(0.4), NetBytes: 100e3}),
+		fan(eC, eApp, cascade.R{CPUCycles: cyc(1.2), NetBytes: 10e3, MemBytes: 125 * mb}),
+		single(eApp, eC, cascade.R{NetBytes: 200e3}),
+	}}
+	for i := 0; i < 5; i++ { // navigating the 3D snapshot served by Tidx (Fig. 5-4, x10)
+		spatial.Steps = append(spatial.Steps,
+			fan(eC, eIdx, cascade.R{CPUCycles: cyc(0.742), NetBytes: 20e3, MemBytes: 125 * mb, DiskBytes: 5 * mb}),
+			single(eIdx, eC, cascade.R{NetBytes: 250e3}),
+		)
+	}
+
+	sel := cascade.Op{Name: "SELECT"}
+	for i := 0; i < 3; i++ { // three spatial-area queries (Fig. 5-4, x4)
+		sel.Steps = append(sel.Steps,
+			fan(eC, eApp, cascade.R{CPUCycles: cyc(0.25), NetBytes: 5e3}),
+			fan(eApp, eDB, cascade.R{CPUCycles: cyc(0.85), NetBytes: 30e3, DiskBytes: 5 * mb}),
+			fan(eDB, eApp, cascade.R{CPUCycles: cyc(0.25), NetBytes: 200e3}),
+			single(eApp, eC, cascade.R{NetBytes: 80e3}),
+		)
+	}
+
+	open := cascade.Op{Name: "OPEN"}
+	// Token segment (Fig. 3-12, segment 1): version check at the master,
+	// then the download token returns to the client.
+	open.Steps = append(open.Steps,
+		fan(eC, eApp, cascade.R{CPUCycles: cyc(1.15), NetBytes: 6e3, MemBytes: 75 * mb}))
+	open.Steps = append(open.Steps,
+		fanChunks(eApp, eDB, cascade.R{CPUCycles: cyc(3.05), NetBytes: 20e3, DiskBytes: 8 * mb}, 3)...)
+	open.Steps = append(open.Steps,
+		fanChunks(eDB, eApp, cascade.R{CPUCycles: cyc(3.45), NetBytes: 60e3}, 3)...)
+	open.Steps = append(open.Steps,
+		single(eApp, eC, cascade.R{NetBytes: 60e3}))
+	// Download segment (segment 2): the local file servers read the
+	// striped payload from storage, then stream it to the client.
+	open.Steps = append(open.Steps,
+		fanChunks(eC, eFS, cascade.R{CPUCycles: cyc(3.2), NetBytes: 30e3, MemBytes: 250 * mb, DiskBytes: stripe}, 3)...)
+	open.Steps = append(open.Steps,
+		single(eFS, eC, cascade.R{NetBytes: fileBytes, DiskBytes: fileBytes}))
+
+	save := cascade.Op{Name: "SAVE"}
+	// Write grant: version registration at the master database.
+	save.Steps = append(save.Steps,
+		fan(eC, eApp, cascade.R{CPUCycles: cyc(1.0), NetBytes: 8e3, MemBytes: 75 * mb}))
+	save.Steps = append(save.Steps,
+		fanChunks(eApp, eDB, cascade.R{CPUCycles: cyc(3.6), NetBytes: 30e3, DiskBytes: 10 * mb}, 3)...)
+	save.Steps = append(save.Steps,
+		fanChunks(eDB, eApp, cascade.R{CPUCycles: cyc(2.86), NetBytes: 60e3}, 3)...)
+	save.Steps = append(save.Steps,
+		single(eApp, eC, cascade.R{NetBytes: 100e3}))
+	// Upload: the client streams the payload to its local file server,
+	// which writes the stripes through to storage.
+	save.Steps = append(save.Steps,
+		single(eC, eFS, cascade.R{NetBytes: fileBytes, MemBytes: 375 * mb}))
+	save.Steps = append(save.Steps,
+		fanChunks(eC, eFS, cascade.R{CPUCycles: cyc(4.0), NetBytes: 20e3, DiskBytes: stripe}, 4)...)
+	save.Steps = append(save.Steps,
+		single(eFS, eC, cascade.R{NetBytes: 50e3}))
+	// Flag the new version for the index-build process (§6.3.2).
+	save.Steps = append(save.Steps,
+		fan(eC, eIdx, cascade.R{CPUCycles: cyc(0.5), NetBytes: 30e3}))
+	save.Steps = append(save.Steps,
+		single(eIdx, eC, cascade.R{NetBytes: 10e3}))
+
+	ops := []cascade.Op{login, textSearch, filter, explore, spatial, sel, open, save}
+	for i := range ops {
+		ops[i] = ChunkHeavySteps(ops[i], maxTaskSec)
+	}
+	return ops
+}
+
+// maxTaskSec caps the per-task CPU service time after chunking. Small
+// tasks keep FCFS head-of-line blocking — and with it the response-time
+// inflation under load — proportional to the cap.
+const maxTaskSec = 0.65
+
+// ChunkHeavySteps splits every step whose largest CPU demand exceeds
+// maxSec seconds (at ServerGHz) into equal sequential copies with the cost
+// divided evenly. Total demand and isolated wall time are preserved.
+func ChunkHeavySteps(op cascade.Op, maxSec float64) cascade.Op {
+	out := cascade.Op{Name: op.Name}
+	for _, step := range op.Steps {
+		maxCPU := 0.0
+		for _, m := range step {
+			if s := m.Cost.CPUCycles / (ServerGHz * 1e9); s > maxCPU {
+				maxCPU = s
+			}
+		}
+		n := 1
+		if maxCPU > maxSec {
+			n = int(maxCPU/maxSec) + 1
+		}
+		if n == 1 {
+			out.Steps = append(out.Steps, step)
+			continue
+		}
+		chunk := make([]cascade.Msg, len(step))
+		for i, m := range step {
+			m.Cost = m.Cost.Scale(1 / float64(n))
+			chunk[i] = m
+		}
+		for i := 0; i < n; i++ {
+			out.Steps = append(out.Steps, chunk)
+		}
+	}
+	return out
+}
+
+// CADOpsBySeries returns the CAD operation set for a series type, using
+// that series' payload size.
+func CADOpsBySeries(s refdata.SeriesType) []cascade.Op {
+	size, ok := FileSizeMB[s]
+	if !ok {
+		panic(fmt.Sprintf("apps: unknown series type %q", s))
+	}
+	return CADOps(size)
+}

@@ -1,0 +1,329 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/topology"
+)
+
+// testInfra builds a master/slave pair: NA hosts app+db+fs, AUS hosts fs
+// only, mirroring the consolidated platform shape of Chapter 6.
+func testInfra(t *testing.T) (*core.Simulation, *topology.Infrastructure) {
+	t.Helper()
+	srv := topology.ServerSpec{
+		CPU:     hardware.CPUSpec{Sockets: 1, Cores: 4, GHz: 2},
+		MemGB:   32,
+		NICGbps: 10,
+		RAID: &hardware.RAIDSpec{
+			Disks: 4, Disk: hardware.DiskSpec{CtrlGbps: 4, MBps: 150, HitRate: 0},
+			CtrlGbps: 4, HitRate: 0,
+		},
+	}
+	local := hardware.LinkSpec{Gbps: 10, LatencyMS: 0.45}
+	spec := topology.InfraSpec{
+		DCs: []topology.DCSpec{
+			{Name: "NA", SwitchGbps: 20, ClientLink: hardware.LinkSpec{Gbps: 10, LatencyMS: 1},
+				Tiers: []topology.TierSpec{
+					{Name: "app", Servers: 2, Server: srv, LocalLink: local},
+					{Name: "db", Servers: 1, Server: srv, LocalLink: local},
+					{Name: "fs", Servers: 1, Server: srv, LocalLink: local},
+				}},
+			{Name: "AUS", SwitchGbps: 20, ClientLink: hardware.LinkSpec{Gbps: 10, LatencyMS: 1},
+				Tiers: []topology.TierSpec{
+					{Name: "fs", Servers: 1, Server: srv, LocalLink: local},
+				}},
+		},
+		WAN: []topology.WANSpec{
+			{From: "NA", To: "AUS", Link: hardware.LinkSpec{Gbps: 0.155, LatencyMS: 90}},
+		},
+		Clients: map[string]topology.ClientSpec{
+			"NA":  {Slots: 8, NICGbps: 1, GHz: 2, DiskMBs: 100},
+			"AUS": {Slots: 8, NICGbps: 1, GHz: 2, DiskMBs: 100},
+		},
+	}
+	sim := core.NewSimulation(core.Config{Step: 0.005, Seed: 11})
+	inf, err := topology.Build(sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, inf
+}
+
+func loginOp() Op {
+	return Seq("LOGIN",
+		Msg{From: End{Role: Client}, To: End{Role: App, Site: SiteMaster},
+			Cost: R{CPUCycles: 2e8, NetBytes: 30e3, MemBytes: 5e6}},
+		Msg{From: End{Role: App, Site: SiteMaster}, To: End{Role: DB, Site: SiteMaster},
+			Cost: R{CPUCycles: 1e8, NetBytes: 10e3}},
+		Msg{From: End{Role: DB, Site: SiteMaster}, To: End{Role: App, Site: SiteMaster},
+			Cost: R{CPUCycles: 1e8, NetBytes: 10e3}},
+		Msg{From: End{Role: App, Site: SiteMaster}, To: End{Role: Client},
+			Cost: R{CPUCycles: 2e8, NetBytes: 250e3}},
+	)
+}
+
+func TestOpValidate(t *testing.T) {
+	if err := loginOp().Validate(); err != nil {
+		t.Errorf("valid op rejected: %v", err)
+	}
+	bad := Op{Name: "X", Steps: [][]Msg{{{From: End{Role: "bogus"}, To: End{Role: App}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown role accepted")
+	}
+	if err := (Op{Name: "Y"}).Validate(); err == nil {
+		t.Error("empty op accepted")
+	}
+	neg := loginOp()
+	neg.Steps[0][0].Cost.NetBytes = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestOpTotalAndTierCosts(t *testing.T) {
+	op := loginOp()
+	total := op.TotalCost()
+	if total.CPUCycles != 6e8 {
+		t.Errorf("total cycles = %v", total.CPUCycles)
+	}
+	per := op.CostToTier()
+	appCost := per[App]
+	if appCost.CPUCycles != 3e8 {
+		t.Errorf("app cycles = %v", appCost.CPUCycles)
+	}
+	clientCost := per[Client]
+	if clientCost.NetBytes != 250e3 {
+		t.Errorf("client bytes = %v", clientCost.NetBytes)
+	}
+}
+
+func TestOpScaleVariants(t *testing.T) {
+	op := loginOp()
+	heavy := op.Scale("LOGIN-H", 2)
+	if got := heavy.TotalCost().CPUCycles; got != 2*op.TotalCost().CPUCycles {
+		t.Errorf("Scale cycles = %v", got)
+	}
+	io := op.ScaleIO("LOGIN-IO", 3)
+	if got := io.TotalCost().CPUCycles; got != op.TotalCost().CPUCycles {
+		t.Errorf("ScaleIO touched CPU: %v", got)
+	}
+	if got := io.TotalCost().NetBytes; got != 3*op.TotalCost().NetBytes {
+		t.Errorf("ScaleIO bytes = %v", got)
+	}
+	// Originals untouched (deep copies).
+	if op.TotalCost().NetBytes != 300e3 {
+		t.Errorf("original mutated: %v", op.TotalCost().NetBytes)
+	}
+}
+
+func TestRoundTrips(t *testing.T) {
+	// Client (local) <-> app (master): every message crosses sites when
+	// local != master... RoundTrips counts site-crossing messages.
+	op := loginOp()
+	if got := op.RoundTrips(); got != 2 {
+		t.Errorf("RoundTrips = %d, want 2 (client<->master legs)", got)
+	}
+}
+
+func TestInstantiateAndRunLocal(t *testing.T) {
+	sim, inf := testInfra(t)
+	na := inf.DC("NA")
+	b := NewBinding(inf, na, na)
+	run, err := Instantiate(loginOp(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launched := false
+	sim.AddSource(core.SourceFunc(func(s *core.Simulation, now float64) {
+		if !launched {
+			launched = true
+			s.StartOp(run)
+		}
+	}))
+	if err := sim.RunUntilIdle(30); err != nil {
+		t.Fatal(err)
+	}
+	if n := sim.Responses.Count("LOGIN", "NA"); n != 1 {
+		t.Errorf("LOGIN completions = %d", n)
+	}
+}
+
+func TestRemoteClientPaysWANLatency(t *testing.T) {
+	sim, inf := testInfra(t)
+	na, aus := inf.DC("NA"), inf.DC("AUS")
+	runFor := func(local *topology.DataCenter) float64 {
+		b := NewBinding(inf, local, na)
+		run, err := Instantiate(loginOp(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := false
+		sim.AddSource(core.SourceFunc(func(s *core.Simulation, now float64) {
+			if !done {
+				done = true
+				s.StartOp(run)
+			}
+		}))
+		if err := sim.RunUntilIdle(60); err != nil {
+			t.Fatal(err)
+		}
+		d, ok := sim.Responses.MeanAll("LOGIN", local.Name)
+		if !ok {
+			t.Fatal("no response")
+		}
+		return d
+	}
+	dNA := runFor(na)
+	dAUS := runFor(aus)
+	// Two WAN crossings at 90 ms each => at least 180 ms extra.
+	if dAUS-dNA < 0.18 {
+		t.Errorf("AUS latency penalty = %v, want >= 0.18", dAUS-dNA)
+	}
+}
+
+func TestSessionAffinityWithinOp(t *testing.T) {
+	_, inf := testInfra(t)
+	na := inf.DC("NA")
+	b := NewBinding(inf, na, na)
+	e1, err := b.Resolve(End{Role: App, Site: SiteMaster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := b.Resolve(End{Role: App, Site: SiteMaster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Server() != e2.Server() {
+		t.Error("same op resolved app tier to different servers")
+	}
+	// A different binding (next op) must rotate to the other server.
+	b2 := NewBinding(inf, na, na)
+	e3, err := b2.Resolve(End{Role: App, Site: SiteMaster})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Server() == e1.Server() {
+		t.Error("round robin did not rotate across operations")
+	}
+}
+
+func TestMissingTierFallsBackToMaster(t *testing.T) {
+	_, inf := testInfra(t)
+	na, aus := inf.DC("NA"), inf.DC("AUS")
+	b := NewBinding(inf, aus, na)
+	// app tier does not exist in AUS: SiteLocal must fall back to master.
+	ep, err := b.Resolve(End{Role: App, Site: SiteLocal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.DC() != na {
+		t.Errorf("app resolved to %s, want NA fallback", ep.DC().Name)
+	}
+	// fs exists locally and must stay local.
+	ep, err = b.Resolve(End{Role: FS, Site: SiteLocal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.DC() != aus {
+		t.Errorf("fs resolved to %s, want AUS", ep.DC().Name)
+	}
+}
+
+func TestEstimateMatchesSimulatedIsolatedRun(t *testing.T) {
+	sim, inf := testInfra(t)
+	na := inf.DC("NA")
+	op := loginOp()
+	est, err := Estimate(op, NewBinding(inf, na, na), sim.Clock().Step())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBinding(inf, na, na)
+	run, err := Instantiate(op, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launched := false
+	sim.AddSource(core.SourceFunc(func(s *core.Simulation, now float64) {
+		if !launched {
+			launched = true
+			s.StartOp(run)
+		}
+	}))
+	if err := sim.RunUntilIdle(30); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sim.Responses.MeanAll("LOGIN", "NA")
+	if rel := math.Abs(got-est) / got; rel > 0.10 {
+		t.Errorf("estimate %v vs simulated %v (rel err %.1f%%)", est, got, rel*100)
+	}
+}
+
+func TestCalibrateClientWorkHitsTarget(t *testing.T) {
+	sim, inf := testInfra(t)
+	na := inf.DC("NA")
+	step := sim.Clock().Step()
+	target := 2.2 // LOGIN duration from Table 5.1 (average series)
+	calibrated, err := CalibrateClientWork(loginOp(), NewBinding(inf, na, na), step, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Estimate(calibrated, NewBinding(inf, na, na), step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-target) > 0.01 {
+		t.Errorf("calibrated estimate = %v, want %v", est, target)
+	}
+	// And the simulated isolated run lands on the target too.
+	b := NewBinding(inf, na, na)
+	run, err := Instantiate(calibrated, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launched := false
+	sim.AddSource(core.SourceFunc(func(s *core.Simulation, now float64) {
+		if !launched {
+			launched = true
+			s.StartOp(run)
+		}
+	}))
+	if err := sim.RunUntilIdle(30); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sim.Responses.MeanAll("LOGIN", "NA")
+	if math.Abs(got-target)/target > 0.05 {
+		t.Errorf("simulated = %v, want %v within 5%%", got, target)
+	}
+}
+
+func TestCalibrateRejectsImpossibleTarget(t *testing.T) {
+	sim, inf := testInfra(t)
+	na := inf.DC("NA")
+	// Target far below the op's intrinsic cost must error.
+	if _, err := CalibrateClientWork(loginOp(), NewBinding(inf, na, na),
+		sim.Clock().Step(), 0.001); err == nil {
+		t.Error("impossible calibration target accepted")
+	}
+}
+
+// Property: Scale distributes over TotalCost for any factor.
+func TestScaleDistributes(t *testing.T) {
+	op := loginOp()
+	f := func(raw uint8) bool {
+		factor := float64(raw%50)/10 + 0.1
+		scaled := op.Scale("S", factor)
+		a := scaled.TotalCost()
+		b := op.TotalCost().Scale(factor)
+		return math.Abs(a.CPUCycles-b.CPUCycles) < 1 &&
+			math.Abs(a.NetBytes-b.NetBytes) < 1 &&
+			math.Abs(a.MemBytes-b.MemBytes) < 1 &&
+			math.Abs(a.DiskBytes-b.DiskBytes) < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

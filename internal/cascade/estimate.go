@@ -1,0 +1,93 @@
+package cascade
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Estimate returns the isolated (single-user, idle-infrastructure) duration
+// of an operation under the binding: per step, the slowest parallel message
+// plan; across steps, the sum. It is exact for cache-free infrastructures
+// (the Chapter 5 validation assumes "no caching between tiers", §5.2.4);
+// with caches enabled the estimate consumes hit-decision randomness like a
+// real expansion would.
+func Estimate(op Op, b *Binding, step float64) (float64, error) {
+	if err := op.Validate(); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, msgs := range op.Steps {
+		slowest := 0.0
+		for _, m := range msgs {
+			from, err := b.Resolve(m.From)
+			if err != nil {
+				return 0, err
+			}
+			to, err := b.Resolve(m.To)
+			if err != nil {
+				return 0, err
+			}
+			plan, err := b.Inf.ExpandHop(from, to, m.Cost)
+			if err != nil {
+				return 0, err
+			}
+			if d := topology.PlanDuration(plan, step); d > slowest {
+				slowest = d
+			}
+		}
+		total += slowest
+	}
+	return total, nil
+}
+
+// CalibrateClientWork returns a copy of the operation whose client-side
+// processing is adjusted so that the isolated duration equals target
+// seconds. It finds the last message addressed to the client and solves for
+// the client CPU cycles that close the gap — the inverse of the paper's
+// canonical-cost profiling (§3.5.2): the thesis measured costs and reported
+// durations; we encode the published durations and derive the free cost
+// component. Server-side costs are untouched, so tier utilizations remain
+// governed by the explicit cost tables.
+func CalibrateClientWork(op Op, b *Binding, step, target float64) (Op, error) {
+	if b.Slot == nil {
+		return Op{}, fmt.Errorf("cascade: calibration requires a client population at %s", b.Local.Name)
+	}
+	last := -1
+	for i := len(op.Steps) - 1; i >= 0 && last < 0; i-- {
+		for j := len(op.Steps[i]) - 1; j >= 0; j-- {
+			if op.Steps[i][j].To.Role == Client {
+				last = i
+				break
+			}
+		}
+	}
+	if last < 0 {
+		return Op{}, fmt.Errorf("cascade: operation %s has no client-bound message to calibrate", op.Name)
+	}
+	base, err := Estimate(op, b, step)
+	if err != nil {
+		return Op{}, err
+	}
+	// Coarser time steps add forwarding overhead per stage; allow the
+	// calibrated duration to overshoot tight targets by up to 10% rather
+	// than failing (the overshoot shows up honestly in the measured
+	// response times).
+	gap := target - base
+	if gap < -0.10*target {
+		return Op{}, fmt.Errorf("cascade: operation %s already takes %.2fs, above target %.2fs",
+			op.Name, base, target)
+	}
+	if gap < 0 {
+		gap = 0
+	}
+	ghz := b.Local.Clients.Spec.GHz
+	out := op.Scale(op.Name, 1) // deep copy
+	for j := range out.Steps[last] {
+		if out.Steps[last][j].To.Role == Client {
+			out.Steps[last][j].Cost.CPUCycles += gap * ghz * 1e9
+			break
+		}
+	}
+	return out, nil
+}

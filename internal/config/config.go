@@ -1,0 +1,114 @@
+// Package config loads and saves simulator inputs as JSON documents —
+// the input-parameter files of §3.2.1 (data center specifications,
+// topology, workloads) — and exports result series for external plotting
+// (the visualization direction of §9.3.2).
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Document is a complete simulator input: the infrastructure plus the
+// application workloads to impose on it.
+type Document struct {
+	// Name labels the scenario.
+	Name string `json:"name"`
+	// Infrastructure is the hardware and topology specification.
+	Infrastructure topology.InfraSpec `json:"infrastructure"`
+	// Workloads describe the applications per data center.
+	Workloads []WorkloadSpec `json:"workloads,omitempty"`
+	// AccessMatrix maps client DCs to owner-DC request fractions.
+	AccessMatrix workload.AccessMatrix `json:"accessMatrix,omitempty"`
+}
+
+// WorkloadSpec is the JSON form of one application workload at one DC.
+type WorkloadSpec struct {
+	App            string         `json:"app"`
+	DC             string         `json:"dc"`
+	Users          workload.Curve `json:"users"`
+	OpsPerUserHour float64        `json:"opsPerUserHour"`
+}
+
+// Validate checks the document beyond JSON well-formedness.
+func (d *Document) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("config: document needs a name")
+	}
+	if len(d.Infrastructure.DCs) == 0 {
+		return fmt.Errorf("config: document %s has no data centers", d.Name)
+	}
+	names := map[string]bool{}
+	for _, dc := range d.Infrastructure.DCs {
+		names[dc.Name] = true
+	}
+	for _, w := range d.Workloads {
+		if w.App == "" {
+			return fmt.Errorf("config: workload without app name")
+		}
+		if !names[w.DC] {
+			return fmt.Errorf("config: workload %s references unknown DC %q", w.App, w.DC)
+		}
+		if w.OpsPerUserHour <= 0 {
+			return fmt.Errorf("config: workload %s/%s needs a positive rate", w.App, w.DC)
+		}
+	}
+	if d.AccessMatrix != nil {
+		if err := d.AccessMatrix.Validate(); err != nil {
+			return fmt.Errorf("config: document %s: %w", d.Name, err)
+		}
+	}
+	return nil
+}
+
+// Decode reads and validates a document from JSON.
+func Decode(r io.Reader) (*Document, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var d Document
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Encode writes the document as indented JSON.
+func (d *Document) Encode(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Load reads a document from a file.
+func Load(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Save writes a document to a file.
+func (d *Document) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if err := d.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,144 @@
+package config
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func sampleDoc() *Document {
+	return &Document{
+		Name: "two-dc",
+		Infrastructure: topology.InfraSpec{
+			DCs: []topology.DCSpec{{
+				Name: "NA", SwitchGbps: 20,
+				ClientLink: hardware.LinkSpec{Gbps: 10, LatencyMS: 0.5},
+				Tiers: []topology.TierSpec{{
+					Name: "app", Servers: 2,
+					Server: topology.ServerSpec{
+						CPU:     hardware.CPUSpec{Sockets: 1, Cores: 8, GHz: 2.5},
+						MemGB:   32,
+						NICGbps: 10,
+						RAID: &hardware.RAIDSpec{
+							Disks: 2, Disk: hardware.DiskSpec{CtrlGbps: 4, MBps: 150},
+							CtrlGbps: 4,
+						},
+					},
+					LocalLink: hardware.LinkSpec{Gbps: 10, LatencyMS: 0.45},
+				}},
+			}},
+			Clients: map[string]topology.ClientSpec{
+				"NA": {Slots: 16, NICGbps: 1, GHz: 2.5, DiskMBs: 120},
+			},
+		},
+		Workloads: []WorkloadSpec{{
+			App: "CAD", DC: "NA",
+			Users:          workload.BusinessDay(100, 13, 22, 5),
+			OpsPerUserHour: 4,
+		}},
+		AccessMatrix: workload.SingleMaster([]string{"NA"}, "NA"),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	doc := sampleDoc()
+	var buf bytes.Buffer
+	if err := doc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != doc.Name {
+		t.Errorf("name = %q", back.Name)
+	}
+	if len(back.Infrastructure.DCs) != 1 || back.Infrastructure.DCs[0].Tiers[0].Servers != 2 {
+		t.Error("infrastructure did not round-trip")
+	}
+	if back.Workloads[0].Users.Peak() != 100 {
+		t.Errorf("workload curve peak = %v", back.Workloads[0].Users.Peak())
+	}
+}
+
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"name":"x","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestValidateRejectsBadDocuments(t *testing.T) {
+	cases := []func(*Document){
+		func(d *Document) { d.Name = "" },
+		func(d *Document) { d.Infrastructure.DCs = nil },
+		func(d *Document) { d.Workloads[0].DC = "MARS" },
+		func(d *Document) { d.Workloads[0].App = "" },
+		func(d *Document) { d.Workloads[0].OpsPerUserHour = 0 },
+		func(d *Document) { d.AccessMatrix = workload.AccessMatrix{"NA": {"NA": 0.5}} },
+	}
+	for i, mutate := range cases {
+		doc := sampleDoc()
+		mutate(doc)
+		if err := doc.Validate(); err == nil {
+			t.Errorf("case %d: invalid document accepted", i)
+		}
+	}
+}
+
+func TestSaveAndLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	doc := sampleDoc()
+	if err := doc.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != doc.Name {
+		t.Errorf("loaded name = %q", back.Name)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestExportSeriesCSV(t *testing.T) {
+	s1 := &metrics.Series{Name: "a"}
+	s1.Add(1, 0.5)
+	s1.Add(2, 0.75)
+	s2 := &metrics.Series{Name: "b"}
+	s2.Add(1.5, 10)
+	var buf bytes.Buffer
+	err := ExportSeriesCSV(&buf, map[string]*metrics.Series{"cpu": s1, "link": s2, "nil": nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 samples
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "series,seconds,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "cpu,1.000,0.5") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestCollectorSeries(t *testing.T) {
+	col := metrics.NewCollector()
+	col.Register(metrics.Probe{Key: "x", Sample: func(float64) float64 { return 1 }})
+	col.Snapshot(10)
+	m := CollectorSeries(col)
+	if m["x"] == nil || m["x"].Len() != 1 {
+		t.Error("collector series not exported")
+	}
+}

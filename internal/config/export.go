@@ -1,0 +1,54 @@
+package config
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// ExportSeriesCSV writes one or more series as a long-format CSV
+// (series,key-ordered; columns: series, seconds, value), suitable for
+// external plotting tools — the visualization hook of §9.3.2.
+func ExportSeriesCSV(w io.Writer, series map[string]*metrics.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "seconds", "value"}); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := series[k]
+		if s == nil {
+			continue
+		}
+		for i := range s.T {
+			rec := []string{
+				k,
+				strconv.FormatFloat(s.T[i], 'f', 3, 64),
+				strconv.FormatFloat(s.V[i], 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("config: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CollectorSeries gathers every registered series of a collector into the
+// map form ExportSeriesCSV consumes.
+func CollectorSeries(col *metrics.Collector) map[string]*metrics.Series {
+	out := make(map[string]*metrics.Series)
+	for _, key := range col.Keys() {
+		out[key] = col.Series(key)
+	}
+	return out
+}

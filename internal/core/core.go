@@ -1,0 +1,122 @@
+// Package core implements the simulation heart of GDISim: the agent
+// abstraction of the Holonic Multi-Agent System (§3.3), the flow machinery
+// that executes message cascades across hardware agents (§3.5.2), and the
+// centralized discrete time loop with its three control phases (§4.3):
+//
+//  1. Time increment — every agent advances its queues by one step. This
+//     phase is parallelized by a pluggable Engine (sequential here;
+//     Scatter-Gather and H-Dispatch live in internal/dispatch).
+//  2. Measurement collection — every collect-interval, probes snapshot
+//     integrated busy time into time series.
+//  3. Agent interaction — tasks that completed during the step advance
+//     their flows and enqueue work on downstream agents. Work forwarded
+//     during tick t is first served at tick t+1, enforcing the timestamp
+//     consistency rule of §4.3.3.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/queueing"
+)
+
+// AgentID identifies an agent. IDs are assigned densely by the Simulation
+// in registration order; draining completions in ID order is what makes
+// parallel engines deterministic.
+type AgentID int32
+
+// Agent is a hardware component of the infrastructure — the lowest-level
+// holon member (CPU, NIC, switch, link, RAID, SAN, delay line). Agents are
+// stepped in parallel by the engine; they must only touch their own state
+// during Step and buffer completed tasks until Drain, which the simulation
+// calls sequentially.
+type Agent interface {
+	ID() AgentID
+	Name() string
+	// Step advances the agent's internal queues by dt simulated seconds.
+	Step(dt float64)
+	// Drain invokes fn for every task completed since the previous Drain,
+	// in completion order, and clears the buffer.
+	Drain(fn func(*queueing.Task))
+	// Idle reports whether the agent holds no in-flight work.
+	Idle() bool
+}
+
+// QueueAgent is an agent that accepts work: a flow stage can target it.
+type QueueAgent interface {
+	Agent
+	Enqueue(*queueing.Task)
+}
+
+// AgentBase supplies the bookkeeping shared by all agents: identity and the
+// completion buffer. Embed it and call InitAgent from the constructor.
+type AgentBase struct {
+	id   AgentID
+	name string
+	done []*queueing.Task
+}
+
+// InitAgent sets the agent identity. It panics when called twice: an agent
+// registered with two simulations is a wiring bug.
+func (b *AgentBase) InitAgent(id AgentID, name string) {
+	if b.name != "" {
+		panic(fmt.Sprintf("core: agent %q re-initialized as %q", b.name, name))
+	}
+	if name == "" {
+		panic("core: agent needs a non-empty name")
+	}
+	b.id = id
+	b.name = name
+}
+
+// ID returns the agent's identifier.
+func (b *AgentBase) ID() AgentID { return b.id }
+
+// Name returns the agent's human-readable name.
+func (b *AgentBase) Name() string { return b.name }
+
+// BufferDone records a completed task for the next Drain. Hardware agents
+// pass this method as the DoneFunc of their internal queues.
+func (b *AgentBase) BufferDone(t *queueing.Task) { b.done = append(b.done, t) }
+
+// Drain hands buffered completions to fn in completion order and resets the
+// buffer, retaining capacity.
+func (b *AgentBase) Drain(fn func(*queueing.Task)) {
+	for i, t := range b.done {
+		b.done[i] = nil
+		fn(t)
+	}
+	b.done = b.done[:0]
+}
+
+// Engine parallelizes the per-tick sweep over all agents. Implementations:
+// SequentialEngine (here), ScatterGather and HDispatch (internal/dispatch).
+type Engine interface {
+	// Bind hands the engine the full agent population. Called once before
+	// the first sweep and again if the population changes.
+	Bind(agents []Agent)
+	// Sweep applies fn to every bound agent; fn is safe to run in parallel
+	// for distinct agents.
+	Sweep(fn func(Agent))
+	// Shutdown releases engine resources (worker pools).
+	Shutdown()
+}
+
+// SequentialEngine applies the sweep on the calling goroutine. It is the
+// reference implementation that the parallel engines must match exactly.
+type SequentialEngine struct {
+	agents []Agent
+}
+
+// Bind stores the agent population.
+func (e *SequentialEngine) Bind(agents []Agent) { e.agents = agents }
+
+// Sweep applies fn to each agent in order.
+func (e *SequentialEngine) Sweep(fn func(Agent)) {
+	for _, a := range e.agents {
+		fn(a)
+	}
+}
+
+// Shutdown is a no-op for the sequential engine.
+func (e *SequentialEngine) Shutdown() {}

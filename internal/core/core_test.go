@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+// testQueueAgent wraps an FCFS queue, standing in for a hardware component.
+type testQueueAgent struct {
+	AgentBase
+	q *queueing.FCFS
+}
+
+func newTestQueueAgent(s *Simulation, name string, servers int, rate float64) *testQueueAgent {
+	a := &testQueueAgent{q: queueing.NewFCFS(servers, rate)}
+	a.InitAgent(s.NextAgentID(), name)
+	s.AddAgent(a)
+	return a
+}
+
+func (a *testQueueAgent) Enqueue(t *queueing.Task) { a.q.Enqueue(t) }
+func (a *testQueueAgent) Step(dt float64)          { a.q.Step(dt, a.BufferDone) }
+func (a *testQueueAgent) Idle() bool               { return a.q.Idle() }
+
+func singleStageOp(name, dc string, agent QueueAgent, demand float64) OpRun {
+	return OpRun{
+		Name:     name,
+		DC:       dc,
+		NumSteps: 1,
+		Expand: func(int) []MessagePlan {
+			return []MessagePlan{{Stages: []Stage{{Queue: agent, Demand: demand}}}}
+		},
+	}
+}
+
+func TestAgentBaseInitPanics(t *testing.T) {
+	var b AgentBase
+	defer func() {
+		if recover() == nil {
+			t.Error("empty name did not panic")
+		}
+	}()
+	b.InitAgent(0, "")
+}
+
+func TestAgentBaseDoubleInitPanics(t *testing.T) {
+	var b AgentBase
+	b.InitAgent(0, "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("double init did not panic")
+		}
+	}()
+	b.InitAgent(1, "b")
+}
+
+func TestAddAgentIDMismatchPanics(t *testing.T) {
+	s := NewSimulation(Config{})
+	var b struct {
+		AgentBase
+	}
+	_ = b
+	a := &testQueueAgent{q: queueing.NewFCFS(1, 1)}
+	a.InitAgent(5, "wrong") // simulation expects ID 0
+	defer func() {
+		if recover() == nil {
+			t.Error("ID mismatch did not panic")
+		}
+	}()
+	s.AddAgent(a)
+}
+
+func TestSingleStageOpCompletes(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	cpu := newTestQueueAgent(s, "cpu", 1, 100) // 100 units/s
+	launched := false
+	s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+		if !launched {
+			launched = true
+			sim.StartOp(singleStageOp("OP", "NA", cpu, 50)) // 0.5s of service
+		}
+	}))
+	if err := s.RunUntilIdle(10); err != nil {
+		t.Fatal(err)
+	}
+	mean, ok := s.Responses.MeanAll("OP", "NA")
+	if !ok {
+		t.Fatal("no response recorded")
+	}
+	// 0.5 s service, plus up to a couple of ticks of phase quantization.
+	if mean < 0.5-1e-9 || mean > 0.53 {
+		t.Errorf("response = %v, want ~0.5", mean)
+	}
+	if s.CompletedOps() != 1 {
+		t.Errorf("completedOps = %d", s.CompletedOps())
+	}
+}
+
+func TestForkJoinStepWaitsForAllMessages(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	fast := newTestQueueAgent(s, "fast", 1, 100)
+	slow := newTestQueueAgent(s, "slow", 1, 10)
+	var secondStepStarted float64 = -1
+	op := OpRun{
+		Name: "FJ", DC: "NA", NumSteps: 2,
+		Expand: func(step int) []MessagePlan {
+			if step == 0 {
+				return []MessagePlan{
+					{Stages: []Stage{{Queue: fast, Demand: 10}}},  // 0.1s
+					{Stages: []Stage{{Queue: slow, Demand: 100}}}, // 10s
+				}
+			}
+			secondStepStarted = s.Clock().NowSeconds()
+			return []MessagePlan{{Stages: []Stage{{Queue: fast, Demand: 1}}}}
+		},
+	}
+	started := false
+	s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+		if !started {
+			started = true
+			sim.StartOp(op)
+		}
+	}))
+	if err := s.RunUntilIdle(30); err != nil {
+		t.Fatal(err)
+	}
+	if secondStepStarted < 10 {
+		t.Errorf("second step started at %v, before slow branch finished (10s)", secondStepStarted)
+	}
+}
+
+func TestInstantStagesRunHooksInOrder(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	cpu := newTestQueueAgent(s, "cpu", 1, 100)
+	var events []string
+	op := OpRun{
+		Name: "HOOKS", DC: "NA", NumSteps: 1,
+		Expand: func(int) []MessagePlan {
+			return []MessagePlan{{Stages: []Stage{
+				{Begin: func() { events = append(events, "acquire") }},
+				{Queue: cpu, Demand: 10,
+					Begin: func() { events = append(events, "work-begin") },
+					End:   func() { events = append(events, "work-end") }},
+				{End: func() { events = append(events, "release") }},
+			}}}
+		},
+	}
+	started := false
+	s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+		if !started {
+			started = true
+			sim.StartOp(op)
+		}
+	}))
+	if err := s.RunUntilIdle(5); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"acquire", "work-begin", "work-end", "release"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestGaugeTracksConcurrentOps(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	cpu := newTestQueueAgent(s, "cpu", 4, 100)
+	n := 0
+	s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+		if n < 3 {
+			n++
+			op := singleStageOp("G", "NA", cpu, 100) // 1s each
+			op.GaugeKey = "clients"
+			sim.StartOp(op)
+		}
+	}))
+	s.RunFor(0.5)
+	if g := s.GaugeValue("clients"); g != 3 {
+		t.Errorf("gauge mid-flight = %v, want 3", g)
+	}
+	if err := s.RunUntilIdle(10); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.GaugeValue("clients"); g != 0 {
+		t.Errorf("gauge after completion = %v, want 0", g)
+	}
+}
+
+func TestDelayLineHoldsExactDelay(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	dl := NewDelayLine(s, "think")
+	op := OpRun{
+		Name: "THINK", DC: "NA", NumSteps: 1,
+		Expand: func(int) []MessagePlan {
+			return []MessagePlan{{Stages: []Stage{{Queue: dl, Delay: 1.5}}}}
+		},
+	}
+	started := false
+	s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+		if !started {
+			started = true
+			sim.StartOp(op)
+		}
+	}))
+	if err := s.RunUntilIdle(10); err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := s.Responses.MeanAll("THINK", "NA")
+	if math.Abs(mean-1.5) > 0.03 {
+		t.Errorf("delay response = %v, want ~1.5", mean)
+	}
+}
+
+func TestDelayLineOrdering(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	dl := NewDelayLine(s, "dl")
+	var order []string
+	mk := func(name string, d float64) OpRun {
+		return OpRun{
+			Name: name, DC: "NA", NumSteps: 1,
+			Expand: func(int) []MessagePlan {
+				return []MessagePlan{{Stages: []Stage{{Queue: dl, Delay: d}}}}
+			},
+			OnComplete: func(now, dur float64) { order = append(order, name) },
+		}
+	}
+	started := false
+	s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+		if !started {
+			started = true
+			sim.StartOp(mk("slow", 2))
+			sim.StartOp(mk("quick", 1))
+		}
+	}))
+	if err := s.RunUntilIdle(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "quick" || order[1] != "slow" {
+		t.Errorf("completion order = %v", order)
+	}
+}
+
+func TestTimestampConsistencyAcrossStages(t *testing.T) {
+	// A task forwarded during tick t must not be served before tick t+1
+	// (§4.3.3), so a 2-stage zero-ish-demand flow takes at least 2 ticks.
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	a := newTestQueueAgent(s, "a", 1, 1e9)
+	b := newTestQueueAgent(s, "b", 1, 1e9)
+	op := OpRun{
+		Name: "2STAGE", DC: "NA", NumSteps: 1,
+		Expand: func(int) []MessagePlan {
+			return []MessagePlan{{Stages: []Stage{
+				{Queue: a, Demand: 1},
+				{Queue: b, Demand: 1},
+			}}}
+		},
+	}
+	started := false
+	s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+		if !started {
+			started = true
+			sim.StartOp(op)
+		}
+	}))
+	if err := s.RunUntilIdle(1); err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := s.Responses.MeanAll("2STAGE", "NA")
+	if mean < 2*s.Clock().Step()-1e-9 {
+		t.Errorf("2-stage flow finished in %v, violating per-tick forwarding", mean)
+	}
+}
+
+func TestRunUntilIdleTimesOut(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	slow := newTestQueueAgent(s, "slow", 1, 1)
+	started := false
+	s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+		if !started {
+			started = true
+			sim.StartOp(singleStageOp("SLOW", "NA", slow, 1e6))
+		}
+	}))
+	if err := s.RunUntilIdle(0.5); err == nil {
+		t.Error("RunUntilIdle should time out on a stuck flow")
+	}
+}
+
+func TestStartOpValidation(t *testing.T) {
+	s := NewSimulation(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid OpRun did not panic")
+		}
+	}()
+	s.StartOp(OpRun{Name: "bad"})
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	run := func() (uint64, float64) {
+		s := NewSimulation(Config{Step: 0.01, Seed: 99})
+		cpu := newTestQueueAgent(s, "cpu", 2, 100)
+		count := 0
+		s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+			if count < 50 && sim.Clock().Now()%10 == 0 {
+				count++
+				d := 10 + sim.RNG().Float64()*90
+				sim.StartOp(singleStageOp("R", "NA", cpu, d))
+			}
+		}))
+		if err := s.RunUntilIdle(120); err != nil {
+			t.Fatal(err)
+		}
+		m, _ := s.Responses.MeanAll("R", "NA")
+		return s.CompletedOps(), m
+	}
+	n1, m1 := run()
+	n2, m2 := run()
+	if n1 != n2 || m1 != m2 {
+		t.Errorf("non-deterministic: (%d,%v) vs (%d,%v)", n1, m1, n2, m2)
+	}
+}
+
+func TestSilentOpsSkipResponseRecording(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	cpu := newTestQueueAgent(s, "cpu", 1, 100)
+	op := singleStageOp("WARM", "NA", cpu, 10)
+	op.Silent = true
+	started := false
+	s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+		if !started {
+			started = true
+			sim.StartOp(op)
+		}
+	}))
+	if err := s.RunUntilIdle(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Responses.MeanAll("WARM", "NA"); ok {
+		t.Error("silent op recorded a response")
+	}
+	if s.CompletedOps() != 1 {
+		t.Error("silent op not counted as completed")
+	}
+}

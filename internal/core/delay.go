@@ -1,0 +1,70 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/queueing"
+)
+
+// DelayLine is a pseudo-agent that holds tasks for a fixed delay without
+// contention. It models client-side time (think time, local rendering) and
+// any stage where elapsed time matters but no shared resource is consumed.
+// The delay is carried in Task.Delay, in seconds.
+type DelayLine struct {
+	AgentBase
+	now  float64
+	heap delayHeap
+	seq  uint64
+}
+
+// NewDelayLine creates and registers a delay line with the simulation.
+func NewDelayLine(sim *Simulation, name string) *DelayLine {
+	d := &DelayLine{}
+	d.InitAgent(sim.NextAgentID(), name)
+	sim.AddAgent(d)
+	return d
+}
+
+// Enqueue admits a task; it will complete after task.Delay seconds.
+func (d *DelayLine) Enqueue(t *queueing.Task) {
+	d.seq++
+	heap.Push(&d.heap, delayEntry{expiry: d.now + t.Delay, seq: d.seq, task: t})
+}
+
+// Step advances local time and buffers expired tasks in expiry order (ties
+// broken by admission order for determinism).
+func (d *DelayLine) Step(dt float64) {
+	d.now += dt
+	for d.heap.Len() > 0 && d.heap[0].expiry <= d.now+1e-12 {
+		e := heap.Pop(&d.heap).(delayEntry)
+		d.BufferDone(e.task)
+	}
+}
+
+// Idle reports whether no tasks are waiting.
+func (d *DelayLine) Idle() bool { return d.heap.Len() == 0 }
+
+type delayEntry struct {
+	expiry float64
+	seq    uint64
+	task   *queueing.Task
+}
+
+type delayHeap []delayEntry
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) Less(i, j int) bool {
+	if h[i].expiry != h[j].expiry {
+		return h[i].expiry < h[j].expiry
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delayHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)   { *h = append(*h, x.(delayEntry)) }
+func (h *delayHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/queueing"
+)
+
+// Stage is one hop of a message through the infrastructure: a piece of work
+// performed by a single hardware agent (NIC transmit, link transit, CPU
+// service, storage access) or a pure delay (client-side think/render time).
+// Stages are produced by the topology router when it expands a cascade
+// message into the agents along the route (§3.3.2).
+type Stage struct {
+	// Queue is the agent that serves this stage. A nil Queue makes the
+	// stage instantaneous: its hooks run and the token advances within the
+	// same interaction phase.
+	Queue QueueAgent
+	// Demand is the work amount in the target agent's units (cycles for
+	// CPUs, bits for network elements, bytes for storage).
+	Demand float64
+	// Delay is a fixed latency in seconds, used by delay-line stages.
+	Delay float64
+	// Begin runs when the stage starts (sequential phase). Used to acquire
+	// memory occupancy at a server.
+	Begin func()
+	// End runs when the stage completes (sequential phase). Used to
+	// release memory occupancy.
+	End func()
+}
+
+// MessagePlan is a fully-expanded message of a cascade: the ordered stages
+// it traverses from origin to destination holon.
+type MessagePlan struct {
+	Stages []Stage
+}
+
+// OpRun describes one operation instance to execute: a cascade of NumSteps
+// sequential steps, each expanding into one or more messages that run in
+// parallel (fork-join across messages of a step). Expansion is lazy — the
+// router picks server instances when the step starts, reproducing the
+// paper's run-time load balancing.
+type OpRun struct {
+	// Name of the operation type, e.g. "CAD OPEN".
+	Name string
+	// DC is the client's data center, used for response-time attribution.
+	DC string
+	// GaugeKey, when non-empty, increments the named simulation gauge for
+	// the lifetime of the operation (concurrent-client accounting).
+	GaugeKey string
+	// NumSteps is the number of sequential steps in the cascade.
+	NumSteps int
+	// Expand returns the parallel messages of the given step (0-based).
+	// An empty result completes the step immediately.
+	Expand func(step int) []MessagePlan
+	// OnComplete, when non-nil, runs in the sequential phase after the
+	// operation finishes. now and dur are simulated seconds.
+	OnComplete func(now, dur float64)
+	// Silent suppresses response-time recording (used by warm-up traffic).
+	Silent bool
+}
+
+// Flow is an in-flight operation instance.
+type Flow struct {
+	id          uint64
+	op          OpRun
+	step        int
+	outstanding int
+	start       float64
+}
+
+// token is one in-flight message of a flow traversing its stages. The
+// embedded task is reused across stages to avoid per-stage allocation.
+type token struct {
+	flow   *Flow
+	stages []Stage
+	idx    int
+	task   queueing.Task
+}
+
+// startOp validates and launches an operation instance. It is called by
+// Simulation.StartOp in the sequential phase.
+func (s *Simulation) startOp(op OpRun) *Flow {
+	if op.NumSteps <= 0 || op.Expand == nil {
+		panic(fmt.Sprintf("core: operation %q needs NumSteps > 0 and an Expand function", op.Name))
+	}
+	s.nextFlowID++
+	f := &Flow{id: s.nextFlowID, op: op, step: -1, start: s.clock.NowSeconds()}
+	s.activeFlows++
+	if op.GaugeKey != "" {
+		s.AddGauge(op.GaugeKey, 1)
+	}
+	s.advanceFlow(f)
+	return f
+}
+
+// advanceFlow moves the flow to its next step, launching the step's message
+// tokens, or completes the flow when no steps remain. Steps that expand to
+// zero messages complete immediately, so the loop continues until a step
+// launches work or the flow ends.
+func (s *Simulation) advanceFlow(f *Flow) {
+	for {
+		f.step++
+		if f.step >= f.op.NumSteps {
+			s.completeFlow(f)
+			return
+		}
+		plans := f.op.Expand(f.step)
+		if len(plans) == 0 {
+			continue
+		}
+		f.outstanding = len(plans)
+		for _, plan := range plans {
+			tok := &token{flow: f, stages: plan.Stages}
+			tok.task.Payload = tok
+			s.nextTaskID++
+			tok.task.ID = s.nextTaskID
+			s.startStage(tok)
+		}
+		return
+	}
+}
+
+// startStage begins the token's current stage, skipping instantaneous
+// stages in place. When the token runs out of stages the parent flow's
+// outstanding count drops and, at zero, the flow advances.
+func (s *Simulation) startStage(tok *token) {
+	for tok.idx < len(tok.stages) {
+		st := &tok.stages[tok.idx]
+		if st.Begin != nil {
+			st.Begin()
+		}
+		if st.Queue != nil {
+			tok.task.Demand = st.Demand
+			tok.task.Delay = st.Delay
+			st.Queue.Enqueue(&tok.task)
+			return
+		}
+		// Instantaneous stage: run End and fall through to the next.
+		if st.End != nil {
+			st.End()
+		}
+		tok.idx++
+	}
+	s.tokenDone(tok)
+}
+
+// onTaskDone resumes a token whose queued stage completed.
+func (s *Simulation) onTaskDone(t *queueing.Task) {
+	tok, ok := t.Payload.(*token)
+	if !ok {
+		panic("core: completed task without token payload")
+	}
+	st := &tok.stages[tok.idx]
+	if st.End != nil {
+		st.End()
+	}
+	tok.idx++
+	s.startStage(tok)
+}
+
+// tokenDone accounts a finished message within its flow.
+func (s *Simulation) tokenDone(tok *token) {
+	f := tok.flow
+	f.outstanding--
+	if f.outstanding < 0 {
+		panic(fmt.Sprintf("core: flow %d over-completed", f.id))
+	}
+	if f.outstanding == 0 {
+		s.advanceFlow(f)
+	}
+}
+
+// completeFlow records the response time and runs completion callbacks.
+func (s *Simulation) completeFlow(f *Flow) {
+	now := s.clock.NowSeconds()
+	dur := now - f.start
+	s.activeFlows--
+	if f.op.GaugeKey != "" {
+		s.AddGauge(f.op.GaugeKey, -1)
+	}
+	if !f.op.Silent {
+		s.Responses.Record(f.op.Name, f.op.DC, now, dur)
+	}
+	s.completedOps++
+	if f.op.OnComplete != nil {
+		f.op.OnComplete(now, dur)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
+
+// Source injects work into the simulation. Sources are polled once per tick
+// in the sequential phase, before the agent sweep: workload generators start
+// client operations, background daemons launch SYNCHREP/INDEXBUILD jobs.
+type Source interface {
+	Poll(s *Simulation, now float64)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(s *Simulation, now float64)
+
+// Poll calls f.
+func (f SourceFunc) Poll(s *Simulation, now float64) { f(s, now) }
+
+// Config parameterizes a Simulation.
+type Config struct {
+	// Step is the time-loop granularity in seconds (§4.3.1 recommends at
+	// least one order of magnitude below the canonical operation costs).
+	Step float64
+	// CollectEvery is the number of ticks between collector snapshots.
+	CollectEvery int
+	// Seed feeds the simulation's deterministic RNG streams.
+	Seed uint64
+	// Engine parallelizes agent sweeps; nil selects SequentialEngine.
+	Engine Engine
+}
+
+// Simulation owns the discrete time loop and everything attached to it:
+// agents, sources, collector, response tracker and RNG. It is not safe for
+// concurrent use; the engine parallelism is internal to the sweep phase.
+type Simulation struct {
+	clock   *simtime.Clock
+	engine  Engine
+	rebind  bool
+	agents  []Agent
+	sources []Source
+
+	Collector *metrics.Collector
+	Responses *metrics.Responses
+
+	collectEvery simtime.Tick
+	rng          *rand.Rand
+	gauges       map[string]float64
+
+	nextFlowID   uint64
+	nextTaskID   uint64
+	activeFlows  int
+	completedOps uint64
+}
+
+// NewSimulation builds a simulation from the configuration, applying
+// defaults: 10 ms step, snapshot every 100 ticks, sequential engine.
+func NewSimulation(cfg Config) *Simulation {
+	if cfg.Step <= 0 {
+		cfg.Step = 0.01
+	}
+	if cfg.CollectEvery <= 0 {
+		cfg.CollectEvery = 100
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = &SequentialEngine{}
+	}
+	return &Simulation{
+		clock:        simtime.NewClock(cfg.Step),
+		engine:       eng,
+		Collector:    metrics.NewCollector(),
+		Responses:    metrics.NewResponses(),
+		collectEvery: simtime.Tick(cfg.CollectEvery),
+		rng:          rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		gauges:       make(map[string]float64),
+	}
+}
+
+// Clock exposes the simulation clock (read-only use by callers).
+func (s *Simulation) Clock() *simtime.Clock { return s.clock }
+
+// RNG returns the simulation's deterministic random stream. It must only be
+// used from sequential phases (sources, expansion, completion callbacks).
+func (s *Simulation) RNG() *rand.Rand { return s.rng }
+
+// NextAgentID reserves the next agent identifier.
+func (s *Simulation) NextAgentID() AgentID { return AgentID(len(s.agents)) }
+
+// AddAgent registers an agent. The agent must have been initialized with
+// the ID returned by the immediately preceding NextAgentID call.
+func (s *Simulation) AddAgent(a Agent) {
+	if got, want := a.ID(), AgentID(len(s.agents)); got != want {
+		panic(fmt.Sprintf("core: agent %q registered with ID %d, want %d", a.Name(), got, want))
+	}
+	s.agents = append(s.agents, a)
+	s.rebind = true
+}
+
+// AddSource registers a work source polled every tick.
+func (s *Simulation) AddSource(src Source) { s.sources = append(s.sources, src) }
+
+// StartOp launches an operation instance now. Must be called from a
+// sequential phase (a Source poll or a completion callback).
+func (s *Simulation) StartOp(op OpRun) { s.startOp(op) }
+
+// ActiveFlows reports the number of in-flight operations.
+func (s *Simulation) ActiveFlows() int { return s.activeFlows }
+
+// CompletedOps reports the total number of finished operations.
+func (s *Simulation) CompletedOps() uint64 { return s.completedOps }
+
+// AddGauge adjusts a named gauge by delta.
+func (s *Simulation) AddGauge(key string, delta float64) { s.gauges[key] += delta }
+
+// GaugeValue reads a named gauge (0 when never set).
+func (s *Simulation) GaugeValue(key string) float64 { return s.gauges[key] }
+
+// GaugeProbe returns a collector probe sampling the named gauge, for
+// concurrent-client series (Fig. 5-6).
+func (s *Simulation) GaugeProbe(key string) metrics.Probe {
+	return metrics.Probe{Key: key, Sample: func(float64) float64 { return s.gauges[key] }}
+}
+
+// Tick advances the simulation by exactly one step, executing the three
+// phases described in the package documentation.
+func (s *Simulation) Tick() {
+	if s.rebind {
+		s.engine.Bind(s.agents)
+		s.rebind = false
+	}
+	dt := s.clock.Step()
+	now := s.clock.NowSeconds()
+
+	// Phase 0 (sequential): sources inject new work for this tick.
+	for _, src := range s.sources {
+		src.Poll(s, now)
+	}
+
+	// Phase 1 (parallel): time increment over all agents.
+	s.engine.Sweep(func(a Agent) { a.Step(dt) })
+
+	tick := s.clock.Advance()
+
+	// Phase 3 (sequential): interaction — completed tasks advance flows.
+	// Agents drain in ID order, which makes every engine deterministic.
+	for _, a := range s.agents {
+		a.Drain(s.onTaskDone)
+	}
+
+	// Phase 2: measurement collection at snapshot boundaries.
+	if tick%s.collectEvery == 0 {
+		s.Collector.Snapshot(s.clock.NowSeconds())
+	}
+}
+
+// RunFor advances the simulation by d simulated seconds.
+func (s *Simulation) RunFor(d float64) {
+	end := s.clock.Now() + s.clock.TicksIn(d)
+	for s.clock.Now() < end {
+		s.Tick()
+	}
+}
+
+// RunUntilIdle ticks until no flows remain in flight and all agents are
+// idle, or maxSeconds of simulated time elapse. It returns an error on
+// timeout so stuck cascades surface in tests instead of hanging.
+func (s *Simulation) RunUntilIdle(maxSeconds float64) error {
+	deadline := s.clock.Now() + s.clock.TicksIn(maxSeconds)
+	for s.clock.Now() < deadline {
+		s.Tick()
+		if s.activeFlows == 0 && s.agentsIdle() {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: %d flows still active after %v simulated seconds", s.activeFlows, maxSeconds)
+}
+
+func (s *Simulation) agentsIdle() bool {
+	for _, a := range s.agents {
+		if !a.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Shutdown releases engine resources. The simulation must not tick after.
+func (s *Simulation) Shutdown() { s.engine.Shutdown() }

@@ -1,0 +1,149 @@
+package dispatch
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+)
+
+// fakeAgent is a minimal queue-bearing agent for engine tests.
+type fakeAgent struct {
+	core.AgentBase
+	q     *queueing.FCFS
+	steps atomic.Int64
+}
+
+func newFakeAgent(s *core.Simulation, name string) *fakeAgent {
+	a := &fakeAgent{q: queueing.NewFCFS(1, 100)}
+	a.InitAgent(s.NextAgentID(), name)
+	s.AddAgent(a)
+	return a
+}
+
+func (a *fakeAgent) Enqueue(t *queueing.Task) { a.q.Enqueue(t) }
+func (a *fakeAgent) Step(dt float64) {
+	a.steps.Add(1)
+	a.q.Step(dt, a.BufferDone)
+}
+func (a *fakeAgent) Idle() bool { return a.q.Idle() }
+
+func TestNewEnginePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewScatterGather(0) },
+		func() { NewHDispatch(0, 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor with 0 threads did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEnginesSweepAllAgents(t *testing.T) {
+	engines := map[string]core.Engine{
+		"scatter-gather": NewScatterGather(4),
+		"h-dispatch":     NewHDispatch(4, 8),
+	}
+	for name, eng := range engines {
+		t.Run(name, func(t *testing.T) {
+			defer eng.Shutdown()
+			s := core.NewSimulation(core.Config{Step: 0.01, Seed: 1, Engine: eng})
+			agents := make([]*fakeAgent, 100)
+			for i := range agents {
+				agents[i] = newFakeAgent(s, "a")
+			}
+			s.RunFor(0.1) // 10 ticks
+			for i, a := range agents {
+				if got := a.steps.Load(); got != 10 {
+					t.Fatalf("agent %d stepped %d times, want 10", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestHDispatchShutdownIdempotent(t *testing.T) {
+	e := NewHDispatch(2, 4)
+	e.Shutdown()
+	e.Shutdown()
+}
+
+func TestHDispatchEmptyBindSweep(t *testing.T) {
+	e := NewHDispatch(2, 4)
+	defer e.Shutdown()
+	e.Bind(nil)
+	e.Sweep(func(core.Agent) { t.Fatal("sweep over empty population invoked fn") })
+}
+
+func TestScatterGatherEmptySweep(t *testing.T) {
+	e := NewScatterGather(2)
+	defer e.Shutdown()
+	e.Bind(nil)
+	e.Sweep(func(core.Agent) { t.Fatal("sweep over empty population invoked fn") })
+}
+
+// runWorkload executes an identical randomized workload on a simulation
+// driven by the given engine and returns a results fingerprint.
+func runWorkload(t *testing.T, eng core.Engine) (uint64, []float64) {
+	t.Helper()
+	s := core.NewSimulation(core.Config{Step: 0.01, Seed: 77, Engine: eng})
+	defer s.Shutdown()
+	const nAgents = 150
+	agents := make([]*fakeAgent, nAgents)
+	for i := range agents {
+		agents[i] = newFakeAgent(s, "srv")
+	}
+	count := 0
+	s.AddSource(core.SourceFunc(func(sim *core.Simulation, now float64) {
+		for count < 500 && sim.Clock().Now()%3 == 0 {
+			count++
+			first := agents[sim.RNG().IntN(nAgents)]
+			second := agents[sim.RNG().IntN(nAgents)]
+			demand := 5 + sim.RNG().Float64()*50
+			sim.StartOp(core.OpRun{
+				Name: "W", DC: "NA", NumSteps: 1,
+				Expand: func(int) []core.MessagePlan {
+					return []core.MessagePlan{{Stages: []core.Stage{
+						{Queue: first, Demand: demand},
+						{Queue: second, Demand: demand / 2},
+					}}}
+				},
+			})
+			break
+		}
+	}))
+	if err := s.RunUntilIdle(300); err != nil {
+		t.Fatal(err)
+	}
+	series := s.Responses.Series("W", "NA")
+	return s.CompletedOps(), append([]float64(nil), series.V...)
+}
+
+// TestEngineEquivalence asserts that both parallel engines produce results
+// bit-identical to the sequential reference — the determinism property that
+// makes the parallelization purely a performance concern.
+func TestEngineEquivalence(t *testing.T) {
+	_, ref := runWorkload(t, &core.SequentialEngine{})
+	for name, eng := range map[string]core.Engine{
+		"scatter-gather": NewScatterGather(8),
+		"h-dispatch":     NewHDispatch(8, 16),
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, got := runWorkload(t, eng)
+			if len(got) != len(ref) {
+				t.Fatalf("completions differ: %d vs %d", len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("response %d differs: %v vs %v", i, got[i], ref[i])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package dispatch
+
+import (
+	"fmt"
+	"sync"
+)
+
+import "repro/internal/core"
+
+// DefaultAgentSet is the agent-set size that delivered the best results in
+// the thesis (Table 4.2: "An Agent Set of size 64 delivered the best
+// results").
+const DefaultAgentSet = 64
+
+// HDispatch is the pull-based engine of Holmes et al. adapted to GDISim
+// (§4.3.5): worker goroutines equal in number to the configured thread
+// count stay alive for the engine's lifetime and pull agent sets from a
+// global queue until it is empty, then signal completion.
+type HDispatch struct {
+	threads int
+	setSize int
+
+	sets [][]core.Agent
+
+	mu   sync.Mutex // serializes Sweep callers (the time loop is single-threaded)
+	fn   func(core.Agent)
+	jobs chan int
+	wg   sync.WaitGroup
+	quit chan struct{}
+	once sync.Once
+}
+
+// NewHDispatch creates the engine with the given worker count and agent-set
+// size; setSize <= 0 selects DefaultAgentSet. Panics on non-positive threads.
+func NewHDispatch(threads, setSize int) *HDispatch {
+	if threads <= 0 {
+		panic(fmt.Sprintf("dispatch: HDispatch needs threads > 0, got %d", threads))
+	}
+	if setSize <= 0 {
+		setSize = DefaultAgentSet
+	}
+	e := &HDispatch{
+		threads: threads,
+		setSize: setSize,
+		jobs:    make(chan int, 1024),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < threads; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *HDispatch) worker() {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case idx := <-e.jobs:
+			// Process the whole agent set sequentially on this worker,
+			// reusing its stack — the core of the H-Dispatch design.
+			fn := e.fn
+			for _, a := range e.sets[idx] {
+				fn(a)
+			}
+			e.wg.Done()
+		}
+	}
+}
+
+// Bind partitions the agent population into agent sets.
+func (e *HDispatch) Bind(agents []core.Agent) {
+	e.sets = e.sets[:0]
+	for start := 0; start < len(agents); start += e.setSize {
+		end := start + e.setSize
+		if end > len(agents) {
+			end = len(agents)
+		}
+		e.sets = append(e.sets, agents[start:end])
+	}
+}
+
+// Sweep pushes every agent set into the global H-Dispatch queue and blocks
+// until the workers have drained it.
+func (e *HDispatch) Sweep(fn func(core.Agent)) {
+	if len(e.sets) == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fn = fn
+	e.wg.Add(len(e.sets))
+	for i := range e.sets {
+		e.jobs <- i
+	}
+	e.wg.Wait()
+}
+
+// Shutdown terminates the worker pool. Idempotent.
+func (e *HDispatch) Shutdown() {
+	e.once.Do(func() { close(e.quit) })
+}
+
+var _ core.Engine = (*HDispatch)(nil)

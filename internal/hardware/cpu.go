@@ -1,0 +1,118 @@
+// Package hardware implements the queueing-network models of the data
+// center components (§3.4.2), each as a core.Agent:
+//
+//   - CPU: p x M/M/q FCFS — one FCFS queue with q core-servers per socket
+//     (Fig. 3-4); tasks carry cycle demands consumed at the core frequency.
+//   - Memory: the only component not modeled as a queue — cache-hit bypass
+//     and occupancy accounting (Fig. 3-5).
+//   - NIC and network switch: M/M/1 FCFS (Fig. 3-6 left/center).
+//   - Network link: M/M/1/k PS with constant latency (Fig. 3-6 right).
+//   - Disk: controller-cache queue chained to a drive queue.
+//   - RAID: an n-way fork-join of disks behind a disk-array controller
+//     cache (Fig. 3-7).
+//   - SAN: fibre-channel switch, disk-array controller cache and
+//     fibre-channel arbitrated loop ahead of the fork-join (Fig. 3-8).
+//
+// Demand units: CPU demands are cycles; network demands are bytes (rates
+// derived from Gbps/Mbps specs divided by 8); storage demands are bytes.
+package hardware
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+)
+
+// CPUSpec describes a multi-socket multi-core processor.
+type CPUSpec struct {
+	Sockets  int     // p
+	Cores    int     // q per socket
+	GHz      float64 // per-core frequency
+	HTFactor float64 // hyper-threading speedup factor (>= 1, default 1)
+}
+
+func (s CPUSpec) validate() error {
+	if s.Sockets <= 0 || s.Cores <= 0 || s.GHz <= 0 {
+		return fmt.Errorf("hardware: invalid CPUSpec %+v", s)
+	}
+	return nil
+}
+
+// TotalCores returns p*q.
+func (s CPUSpec) TotalCores() int { return s.Sockets * s.Cores }
+
+// CPU models a p-socket q-core processor as p FCFS queues with q servers
+// each (Fig. 3-4). Incoming tasks are assigned to sockets round-robin.
+type CPU struct {
+	core.AgentBase
+	spec    CPUSpec
+	sockets []*queueing.FCFS
+	rr      int
+}
+
+// NewCPU creates and registers a CPU agent.
+func NewCPU(sim *core.Simulation, name string, spec CPUSpec) *CPU {
+	if err := spec.validate(); err != nil {
+		panic(err)
+	}
+	if spec.HTFactor <= 0 {
+		spec.HTFactor = 1
+	}
+	c := &CPU{spec: spec}
+	rate := spec.GHz * 1e9 * spec.HTFactor // cycles per second per core
+	for i := 0; i < spec.Sockets; i++ {
+		c.sockets = append(c.sockets, queueing.NewFCFS(spec.Cores, rate))
+	}
+	c.InitAgent(sim.NextAgentID(), name)
+	sim.AddAgent(c)
+	return c
+}
+
+// Spec returns the processor specification.
+func (c *CPU) Spec() CPUSpec { return c.spec }
+
+// Enqueue assigns the task to the next socket round-robin.
+func (c *CPU) Enqueue(t *queueing.Task) {
+	c.sockets[c.rr].Enqueue(t)
+	c.rr = (c.rr + 1) % len(c.sockets)
+}
+
+// Step advances every socket queue.
+func (c *CPU) Step(dt float64) {
+	for _, s := range c.sockets {
+		s.Step(dt, c.BufferDone)
+	}
+}
+
+// Idle reports whether all sockets are empty.
+func (c *CPU) Idle() bool {
+	for _, s := range c.sockets {
+		if !s.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// TakeBusy returns accumulated busy core-seconds across all sockets since
+// the last call. Dividing by TotalCores x window yields CPU utilization.
+func (c *CPU) TakeBusy() float64 {
+	b := 0.0
+	for _, s := range c.sockets {
+		b += s.TakeBusy()
+	}
+	return b
+}
+
+// QueueDepth reports the total number of waiting (not in service) tasks,
+// used by least-loaded balancing.
+func (c *CPU) QueueDepth() int {
+	n := 0
+	for _, s := range c.sockets {
+		n += s.Waiting() + s.InService()
+	}
+	return n
+}
+
+var _ core.QueueAgent = (*CPU)(nil)

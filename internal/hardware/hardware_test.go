@@ -1,0 +1,387 @@
+package hardware
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+)
+
+func drainAll(t *testing.T, a core.Agent, dt float64, maxSteps int) []*queueing.Task {
+	t.Helper()
+	var done []*queueing.Task
+	for i := 0; i < maxSteps && !a.Idle(); i++ {
+		a.Step(dt)
+		a.Drain(func(task *queueing.Task) { done = append(done, task) })
+	}
+	if !a.Idle() {
+		t.Fatalf("%s not idle after %d steps", a.Name(), maxSteps)
+	}
+	return done
+}
+
+func TestCPUSpecValidation(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	bad := []CPUSpec{
+		{Sockets: 0, Cores: 4, GHz: 2},
+		{Sockets: 1, Cores: 0, GHz: 2},
+		{Sockets: 1, Cores: 4, GHz: 0},
+	}
+	for _, spec := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCPU(%+v) did not panic", spec)
+				}
+			}()
+			NewCPU(s, "cpu", spec)
+		}()
+	}
+}
+
+func TestCPUServiceTimeMatchesFrequency(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	cpu := NewCPU(s, "cpu", CPUSpec{Sockets: 1, Cores: 1, GHz: 2}) // 2e9 cycles/s
+	cpu.Enqueue(&queueing.Task{ID: 1, Demand: 1e9})                // 0.5 s of work
+	var done []*queueing.Task
+	cpu.Step(0.4)
+	cpu.Drain(func(task *queueing.Task) { done = append(done, task) })
+	if len(done) != 0 {
+		t.Fatal("completed before 0.5s of cycles consumed")
+	}
+	cpu.Step(0.11)
+	cpu.Drain(func(task *queueing.Task) { done = append(done, task) })
+	if len(done) != 1 {
+		t.Fatal("not completed after full service time")
+	}
+}
+
+func TestCPURoundRobinAcrossSockets(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	cpu := NewCPU(s, "cpu", CPUSpec{Sockets: 2, Cores: 1, GHz: 1})
+	// Two equal tasks must land on different sockets and finish together.
+	cpu.Enqueue(&queueing.Task{ID: 1, Demand: 1e9})
+	cpu.Enqueue(&queueing.Task{ID: 2, Demand: 1e9})
+	done := drainAll(t, cpu, 0.1, 20)
+	if len(done) != 2 {
+		t.Fatalf("completed %d, want 2", len(done))
+	}
+	if cpu.QueueDepth() != 0 {
+		t.Errorf("queue depth = %d", cpu.QueueDepth())
+	}
+}
+
+func TestCPUHTFactorSpeedsService(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	plain := NewCPU(s, "plain", CPUSpec{Sockets: 1, Cores: 1, GHz: 1})
+	ht := NewCPU(s, "ht", CPUSpec{Sockets: 1, Cores: 1, GHz: 1, HTFactor: 2})
+	plain.Enqueue(&queueing.Task{ID: 1, Demand: 1e9})
+	ht.Enqueue(&queueing.Task{ID: 1, Demand: 1e9})
+	var plainDone, htDone int
+	plain.Step(0.6)
+	plain.Drain(func(*queueing.Task) { plainDone++ })
+	ht.Step(0.6)
+	ht.Drain(func(*queueing.Task) { htDone++ })
+	if plainDone != 0 || htDone != 1 {
+		t.Errorf("HT factor not applied: plain=%d ht=%d", plainDone, htDone)
+	}
+}
+
+func TestCPUBusyAccounting(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	cpu := NewCPU(s, "cpu", CPUSpec{Sockets: 2, Cores: 2, GHz: 1})
+	cpu.Enqueue(&queueing.Task{ID: 1, Demand: 1e9}) // 1 core-second
+	drainAll(t, cpu, 0.1, 20)
+	if b := cpu.TakeBusy(); math.Abs(b-1.0) > 1e-9 {
+		t.Errorf("busy = %v, want 1.0", b)
+	}
+	if cpu.Spec().TotalCores() != 4 {
+		t.Errorf("TotalCores = %d", cpu.Spec().TotalCores())
+	}
+}
+
+func TestMemoryOccupancy(t *testing.T) {
+	m := NewMemory(32e9, 0, 1)
+	m.Acquire(10e9)
+	m.Acquire(5e9)
+	if m.Used() != 15e9 {
+		t.Errorf("used = %v", m.Used())
+	}
+	m.Release(5e9)
+	if m.Used() != 10e9 {
+		t.Errorf("used after release = %v", m.Used())
+	}
+	if m.Peak() != 15e9 {
+		t.Errorf("peak = %v", m.Peak())
+	}
+	if m.Capacity() != 32e9 {
+		t.Errorf("capacity = %v", m.Capacity())
+	}
+}
+
+func TestMemoryOverReleasePanics(t *testing.T) {
+	m := NewMemory(1e9, 0, 1)
+	m.Acquire(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	m.Release(2)
+}
+
+func TestMemoryHitRateExtremes(t *testing.T) {
+	never := NewMemory(1e9, 0, 1)
+	always := NewMemory(1e9, 1, 1)
+	for i := 0; i < 100; i++ {
+		if never.Hit() {
+			t.Fatal("hitRate=0 produced a hit")
+		}
+		if !always.Hit() {
+			t.Fatal("hitRate=1 produced a miss")
+		}
+	}
+}
+
+func TestMemoryHitRateStatistical(t *testing.T) {
+	m := NewMemory(1e9, 0.3, 42)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.Hit() {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("empirical hit rate %v, want ~0.3", rate)
+	}
+}
+
+func TestNICAndSwitchServiceRate(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	nic := NewNIC(s, "nic", 1)   // 1 Gbps = 125e6 B/s
+	sw := NewSwitch(s, "sw", 10) // 10 Gbps
+	if nic.Rate() != 125e6 {
+		t.Errorf("nic rate = %v", nic.Rate())
+	}
+	if sw.Rate() != 1.25e9 {
+		t.Errorf("switch rate = %v", sw.Rate())
+	}
+	nic.Enqueue(&queueing.Task{ID: 1, Demand: 125e6}) // 1 second
+	done := drainAll(t, nic, 0.25, 10)
+	if len(done) != 1 {
+		t.Fatal("nic transfer incomplete")
+	}
+	if b := nic.TakeBusy(); math.Abs(b-1.0) > 1e-9 {
+		t.Errorf("nic busy = %v, want 1.0", b)
+	}
+}
+
+func TestLinkLatencyAndSharing(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	l := NewLink(s, "wan", LinkSpec{Gbps: 0.155, LatencyMS: 100, MaxConn: 64})
+	// 155 Mbps = 19.375e6 B/s; transfer 19.375e6 bytes => 1s + 0.1s latency.
+	l.Enqueue(&queueing.Task{ID: 1, Demand: 19.375e6})
+	var done int
+	for i := 0; i < 10; i++ { // 1.0s total: not yet complete
+		l.Step(0.1)
+		l.Drain(func(*queueing.Task) { done++ })
+	}
+	if done != 0 {
+		t.Fatal("transfer completed before latency + transmission")
+	}
+	l.Step(0.11)
+	l.Drain(func(*queueing.Task) { done++ })
+	if done != 1 {
+		t.Fatal("transfer incomplete after 1.21s")
+	}
+}
+
+func TestLinkAllocationCapsBandwidth(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	full := NewLink(s, "full", LinkSpec{Gbps: 1})
+	capped := NewLink(s, "capped", LinkSpec{Gbps: 1, Allocated: 0.2})
+	if capped.Rate() >= full.Rate() {
+		t.Errorf("allocated rate %v not below full %v", capped.Rate(), full.Rate())
+	}
+	if math.Abs(capped.Rate()-0.2*full.Rate()) > 1e-6 {
+		t.Errorf("allocated rate = %v, want 20%% of %v", capped.Rate(), full.Rate())
+	}
+}
+
+func TestLinkOverAllocationPanics(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("allocation > 1 did not panic")
+		}
+	}()
+	NewLink(s, "bad", LinkSpec{Gbps: 1, Allocated: 1.5})
+}
+
+func TestLinkFailureRejectsTraffic(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	l := NewLink(s, "wan", LinkSpec{Gbps: 1})
+	l.Fail()
+	if !l.Failed() {
+		t.Fatal("Failed() false after Fail()")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("enqueue on failed link did not panic")
+			}
+		}()
+		l.Enqueue(&queueing.Task{ID: 1, Demand: 1})
+	}()
+	l.Restore()
+	l.Enqueue(&queueing.Task{ID: 1, Demand: 1}) // must not panic
+}
+
+func TestRAIDStripingAcceleratesLargeReads(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	disk := DiskSpec{CtrlGbps: 4, MBps: 100, HitRate: 0}
+	one := NewRAID(s, "raid1", RAIDSpec{Disks: 1, Disk: disk, CtrlGbps: 4, HitRate: 0})
+	four := NewRAID(s, "raid4", RAIDSpec{Disks: 4, Disk: disk, CtrlGbps: 4, HitRate: 0})
+	read := func(r *RAID) float64 {
+		r.Enqueue(&queueing.Task{ID: 1, Demand: 100e6}) // 1s on one 100MB/s drive
+		steps := 0
+		for !r.Idle() {
+			r.Step(0.01)
+			r.Drain(func(*queueing.Task) {})
+			steps++
+			if steps > 10000 {
+				t.Fatal("raid read never completed")
+			}
+		}
+		return float64(steps) * 0.01
+	}
+	t1 := read(one)
+	t4 := read(four)
+	if t4 >= t1 {
+		t.Errorf("striping did not accelerate: 1 disk %.2fs vs 4 disks %.2fs", t1, t4)
+	}
+	if ratio := t1 / t4; ratio < 2.5 {
+		t.Errorf("4-way striping speedup %.2f, want > 2.5", ratio)
+	}
+}
+
+func TestRAIDCacheHitBypassesDisks(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	disk := DiskSpec{CtrlGbps: 4, MBps: 100, HitRate: 0}
+	r := NewRAID(s, "raid", RAIDSpec{Disks: 4, Disk: disk, CtrlGbps: 4, HitRate: 1})
+	r.Enqueue(&queueing.Task{ID: 1, Demand: 100e6})
+	done := drainAll(t, r, 0.01, 1000)
+	if len(done) != 1 {
+		t.Fatal("request incomplete")
+	}
+	if b := r.TakeBusy(); b != 0 {
+		t.Errorf("drives did work (%v s) despite 100%% cache hit", b)
+	}
+}
+
+func TestRAIDJoinWaitsForAllStripes(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	disk := DiskSpec{CtrlGbps: 4, MBps: 100, HitRate: 0}
+	r := NewRAID(s, "raid", RAIDSpec{Disks: 8, Disk: disk, CtrlGbps: 4, HitRate: 0})
+	r.Enqueue(&queueing.Task{ID: 7, Demand: 800e6}) // 1s per stripe on 8 disks
+	var completions []*queueing.Task
+	elapsed := 0.0
+	for !r.Idle() {
+		r.Step(0.01)
+		elapsed += 0.01
+		r.Drain(func(task *queueing.Task) { completions = append(completions, task) })
+		if elapsed > 100 {
+			t.Fatal("join never completed")
+		}
+	}
+	if len(completions) != 1 || completions[0].ID != 7 {
+		t.Fatalf("completions = %v", completions)
+	}
+	if elapsed < 1.0 {
+		t.Errorf("join completed in %.2fs, before the 1s stripe time", elapsed)
+	}
+}
+
+func TestSANPipelineCompletes(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	san := NewSAN(s, "san", SANSpec{
+		Disks:        20,
+		Disk:         DiskSpec{CtrlGbps: 4, MBps: 120, HitRate: 0.1},
+		FCSwitchGbps: 8, CtrlGbps: 4, FCALGbps: 4, HitRate: 0,
+	})
+	san.Enqueue(&queueing.Task{ID: 3, Demand: 240e6})
+	done := drainAll(t, san, 0.01, 10000)
+	if len(done) != 1 || done[0].ID != 3 {
+		t.Fatalf("SAN completions = %v", done)
+	}
+}
+
+func TestSANCacheHitSkipsLoopAndDisks(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	san := NewSAN(s, "san", SANSpec{
+		Disks:        4,
+		Disk:         DiskSpec{CtrlGbps: 4, MBps: 100, HitRate: 0},
+		FCSwitchGbps: 8, CtrlGbps: 4, FCALGbps: 4, HitRate: 1,
+	})
+	san.Enqueue(&queueing.Task{ID: 1, Demand: 400e6})
+	done := drainAll(t, san, 0.01, 1000)
+	if len(done) != 1 {
+		t.Fatal("request incomplete")
+	}
+	if b := san.TakeBusy(); b != 0 {
+		t.Errorf("drives did work (%v s) despite 100%% cache hit", b)
+	}
+}
+
+func TestStorageSpecValidation(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid RAIDSpec did not panic")
+			}
+		}()
+		NewRAID(s, "bad", RAIDSpec{Disks: 0})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid SANSpec did not panic")
+			}
+		}()
+		NewSAN(s, "bad", SANSpec{Disks: 1})
+	}()
+}
+
+// Property: for any mix of request sizes, a RAID with no caches conserves
+// work — total drive busy time equals total demand divided by aggregate
+// drive throughput.
+func TestRAIDWorkConservation(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 16 {
+			return true
+		}
+		s := core.NewSimulation(core.Config{})
+		disk := DiskSpec{CtrlGbps: 100, MBps: 100, HitRate: 0}
+		r := NewRAID(s, "raid", RAIDSpec{Disks: 4, Disk: disk, CtrlGbps: 100, HitRate: 0})
+		total := 0.0
+		for i, v := range raw {
+			d := float64(v%1000)*1e5 + 1e5
+			total += d
+			r.Enqueue(&queueing.Task{ID: uint64(i), Demand: d})
+		}
+		for i := 0; i < 1000000 && !r.Idle(); i++ {
+			r.Step(0.05)
+			r.Drain(func(*queueing.Task) {})
+		}
+		busy := r.TakeBusy()
+		return math.Abs(busy-total/100e6) < 1e-6*float64(len(raw))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

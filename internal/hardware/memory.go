@@ -1,0 +1,82 @@
+package hardware
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Memory models the two effects of Fig. 3-5: caching — a cache hit bypasses
+// the storage queues entirely — and occupancy — an amount of memory is held
+// for the duration of a message's processing at the server. It is the one
+// component not modeled as a queue (§3.4.2), so it is not an agent; the
+// topology router consults it while expanding messages (sequential phase)
+// and wires Acquire/Release into stage hooks.
+type Memory struct {
+	capacity float64 // bytes
+	used     float64 // bytes currently held
+	hitRate  float64 // probability a storage access hits the cache
+	rng      *rand.Rand
+	peak     float64
+}
+
+// NewMemory creates a memory component with capacity in bytes and a cache
+// hit rate in [0,1]. The rng stream keeps hit decisions deterministic.
+func NewMemory(capacity, hitRate float64, seed uint64) *Memory {
+	if capacity <= 0 || hitRate < 0 || hitRate > 1 {
+		panic(fmt.Sprintf("hardware: invalid Memory capacity=%v hitRate=%v", capacity, hitRate))
+	}
+	return &Memory{
+		capacity: capacity,
+		hitRate:  hitRate,
+		rng:      rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb)),
+	}
+}
+
+// Capacity returns the memory size in bytes.
+func (m *Memory) Capacity() float64 { return m.capacity }
+
+// Used returns the bytes currently held.
+func (m *Memory) Used() float64 { return m.used }
+
+// Peak returns the maximum bytes ever held.
+func (m *Memory) Peak() float64 { return m.peak }
+
+// Acquire holds b bytes for the duration of a message's processing.
+// Occupancy may exceed capacity — real servers swap — but the overflow is
+// observable through Used()/Capacity() for saturation detection.
+func (m *Memory) Acquire(b float64) {
+	if b < 0 {
+		panic("hardware: negative memory acquisition")
+	}
+	m.used += b
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+}
+
+// Release returns b bytes. Releasing more than held panics: it indicates
+// unbalanced stage hooks.
+func (m *Memory) Release(b float64) {
+	if b < 0 {
+		panic("hardware: negative memory release")
+	}
+	m.used -= b
+	if m.used < -1e-6 {
+		panic(fmt.Sprintf("hardware: memory over-released to %v", m.used))
+	}
+	if m.used < 0 {
+		m.used = 0
+	}
+}
+
+// Hit reports whether a storage access hits the cache, consuming one
+// deterministic random draw.
+func (m *Memory) Hit() bool {
+	if m.hitRate <= 0 {
+		return false
+	}
+	if m.hitRate >= 1 {
+		return true
+	}
+	return m.rng.Float64() < m.hitRate
+}

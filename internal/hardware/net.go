@@ -1,0 +1,166 @@
+package hardware
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+)
+
+// NIC models a network interface card as an M/M/1 FCFS queue (Fig. 3-6
+// left). Demands are bytes; the rate derives from the card speed.
+type NIC struct {
+	core.AgentBase
+	q    *queueing.FCFS
+	rate float64
+}
+
+// NewNIC creates and registers a NIC with speed in Gbps.
+func NewNIC(sim *core.Simulation, name string, gbps float64) *NIC {
+	if gbps <= 0 {
+		panic(fmt.Sprintf("hardware: invalid NIC speed %v Gbps", gbps))
+	}
+	rate := gbps * 1e9 / 8 // bytes per second
+	n := &NIC{q: queueing.NewFCFS(1, rate), rate: rate}
+	n.InitAgent(sim.NextAgentID(), name)
+	sim.AddAgent(n)
+	return n
+}
+
+// Rate returns the service rate in bytes/second.
+func (n *NIC) Rate() float64 { return n.rate }
+
+// Enqueue adds a transfer task (Demand in bytes).
+func (n *NIC) Enqueue(t *queueing.Task) { n.q.Enqueue(t) }
+
+// Step advances the queue.
+func (n *NIC) Step(dt float64) { n.q.Step(dt, n.BufferDone) }
+
+// Idle reports whether the NIC has no work.
+func (n *NIC) Idle() bool { return n.q.Idle() }
+
+// TakeBusy returns busy seconds since the last call.
+func (n *NIC) TakeBusy() float64 { return n.q.TakeBusy() }
+
+// Switch models a network switch as an M/M/1 FCFS queue (Fig. 3-6 center),
+// typically an order of magnitude faster than the NICs it serves.
+type Switch struct {
+	core.AgentBase
+	q    *queueing.FCFS
+	rate float64
+}
+
+// NewSwitch creates and registers a switch with speed in Gbps.
+func NewSwitch(sim *core.Simulation, name string, gbps float64) *Switch {
+	if gbps <= 0 {
+		panic(fmt.Sprintf("hardware: invalid switch speed %v Gbps", gbps))
+	}
+	rate := gbps * 1e9 / 8
+	s := &Switch{q: queueing.NewFCFS(1, rate), rate: rate}
+	s.InitAgent(sim.NextAgentID(), name)
+	sim.AddAgent(s)
+	return s
+}
+
+// Rate returns the service rate in bytes/second.
+func (s *Switch) Rate() float64 { return s.rate }
+
+// Enqueue adds a forwarding task (Demand in bytes).
+func (s *Switch) Enqueue(t *queueing.Task) { s.q.Enqueue(t) }
+
+// Step advances the queue.
+func (s *Switch) Step(dt float64) { s.q.Step(dt, s.BufferDone) }
+
+// Idle reports whether the switch has no work.
+func (s *Switch) Idle() bool { return s.q.Idle() }
+
+// TakeBusy returns busy seconds since the last call.
+func (s *Switch) TakeBusy() float64 { return s.q.TakeBusy() }
+
+// Link models a network link as an M/M/1/k processor-sharing queue with a
+// constant latency (Fig. 3-6 right). Bandwidth is divided uniformly among
+// the tasks being served; k bounds the simultaneous connections.
+type Link struct {
+	core.AgentBase
+	q        *queueing.PS
+	rate     float64
+	capShare float64 // fraction of raw bandwidth allocated to this platform
+	failed   bool
+}
+
+// LinkSpec describes a link: bandwidth, latency, connection limit and the
+// fraction of the raw bandwidth allocated to the simulated platform (the
+// Fortune 500 company caps its applications at 20% of WAN capacity, §6.3.3).
+type LinkSpec struct {
+	Gbps      float64
+	LatencyMS float64
+	MaxConn   int     // 0 selects a generous default of 4096
+	Allocated float64 // fraction (0,1]; 0 selects 1.0
+}
+
+// NewLink creates and registers a link.
+func NewLink(sim *core.Simulation, name string, spec LinkSpec) *Link {
+	if spec.Gbps <= 0 || spec.LatencyMS < 0 {
+		panic(fmt.Sprintf("hardware: invalid LinkSpec %+v", spec))
+	}
+	if spec.MaxConn <= 0 {
+		spec.MaxConn = 4096
+	}
+	share := spec.Allocated
+	if share <= 0 {
+		share = 1
+	}
+	if share > 1 {
+		panic(fmt.Sprintf("hardware: link allocation %v > 1", share))
+	}
+	rate := spec.Gbps * 1e9 / 8 * share // usable bytes/second
+	l := &Link{
+		q:        queueing.NewPS(rate, spec.MaxConn, spec.LatencyMS/1000),
+		rate:     rate,
+		capShare: share,
+	}
+	l.InitAgent(sim.NextAgentID(), name)
+	sim.AddAgent(l)
+	return l
+}
+
+// Rate returns the usable (allocated) bandwidth in bytes/second.
+func (l *Link) Rate() float64 { return l.rate }
+
+// Latency returns the link latency in seconds.
+func (l *Link) Latency() float64 { return l.q.Latency() }
+
+// Enqueue adds a transfer (Demand in bytes). Enqueueing on a failed link
+// panics — routing must divert traffic to backup paths first.
+func (l *Link) Enqueue(t *queueing.Task) {
+	if l.failed {
+		panic(fmt.Sprintf("hardware: enqueue on failed link %s", l.Name()))
+	}
+	l.q.Enqueue(t)
+}
+
+// Step advances the queue.
+func (l *Link) Step(dt float64) { l.q.Step(dt, l.BufferDone) }
+
+// Idle reports whether the link carries no traffic.
+func (l *Link) Idle() bool { return l.q.Idle() }
+
+// TakeBusy returns bytes transferred since the last call. Utilization of
+// the allocated capacity over a window is bytes / (Rate() x window).
+func (l *Link) TakeBusy() float64 { return l.q.TakeBusy() }
+
+// Fail marks the link down; Restore brings it back. In-flight transfers
+// complete (the abstraction models route withdrawal, not packet loss).
+func (l *Link) Fail() { l.failed = true }
+
+// Restore brings a failed link back into service.
+func (l *Link) Restore() { l.failed = false }
+
+// Failed reports the link failure state.
+func (l *Link) Failed() bool { return l.failed }
+
+var (
+	_ core.QueueAgent = (*NIC)(nil)
+	_ core.QueueAgent = (*Switch)(nil)
+	_ core.QueueAgent = (*Link)(nil)
+)

@@ -1,0 +1,356 @@
+package hardware
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+)
+
+// DiskSpec describes one disk: its controller-cache service speed, the
+// mechanical drive throughput, and the controller-cache hit rate.
+type DiskSpec struct {
+	CtrlGbps float64 // disk controller cache speed (Qdcc)
+	MBps     float64 // drive throughput (Qhdd)
+	HitRate  float64 // cache hit rate at the disk controller
+}
+
+func (s DiskSpec) validate() error {
+	if s.CtrlGbps <= 0 || s.MBps <= 0 || s.HitRate < 0 || s.HitRate > 1 {
+		return fmt.Errorf("hardware: invalid DiskSpec %+v", s)
+	}
+	return nil
+}
+
+// diskUnit is the Qdcc -> Qhdd pipeline of one disk (Figs. 3-7, 3-8).
+type diskUnit struct {
+	dcc *queueing.FCFS
+	hdd *queueing.FCFS
+}
+
+func newDiskUnit(s DiskSpec) *diskUnit {
+	return &diskUnit{
+		dcc: queueing.NewFCFS(1, s.CtrlGbps*1e9/8),
+		hdd: queueing.NewFCFS(1, s.MBps*1e6),
+	}
+}
+
+func (d *diskUnit) idle() bool { return d.dcc.Idle() && d.hdd.Idle() }
+
+// extReq tracks an external storage request through the array's internal
+// pipeline, preserving its original byte demand for forking.
+type extReq struct {
+	parent *queueing.Task
+	demand float64
+}
+
+// forkJoin joins the stripes of one forked request.
+type forkJoin struct {
+	parent  *queueing.Task
+	pending int
+}
+
+// stripeReq tracks one stripe of a forked request through its disk.
+type stripeReq struct {
+	fj     *forkJoin
+	stripe float64 // stripe byte demand
+	disk   int     // owning disk index
+}
+
+// diskArray implements the shared mechanics of RAID and SAN: an n-way
+// fork-join of disk pipelines plus the cache-hit routing around them.
+type diskArray struct {
+	disks    []*diskUnit
+	diskSpec DiskSpec
+	rng      *rand.Rand
+	buffer   func(*queueing.Task) // parent-agent completion buffer
+}
+
+func newDiskArray(n int, spec DiskSpec, seed uint64, buffer func(*queueing.Task)) *diskArray {
+	a := &diskArray{
+		diskSpec: spec,
+		rng:      rand.New(rand.NewPCG(seed, seed^0x5354524950455253)),
+		buffer:   buffer,
+	}
+	for i := 0; i < n; i++ {
+		a.disks = append(a.disks, newDiskUnit(spec))
+	}
+	return a
+}
+
+// fork splits the external request across all disks with striped demand.
+func (a *diskArray) fork(ext *extReq) {
+	fj := &forkJoin{parent: ext.parent, pending: len(a.disks)}
+	stripe := ext.demand / float64(len(a.disks))
+	for i, d := range a.disks {
+		sr := &stripeReq{fj: fj, stripe: stripe, disk: i}
+		d.dcc.Enqueue(&queueing.Task{ID: ext.parent.ID, Demand: stripe, Payload: sr})
+	}
+}
+
+// step advances every disk pipeline, routing stripes from controller cache
+// to drive (or past it on a disk-cache hit) and joining completions.
+func (a *diskArray) step(dt float64) {
+	for _, d := range a.disks {
+		d.dcc.Step(dt, a.onDiskCtrlDone)
+		d.hdd.Step(dt, a.onDriveDone)
+	}
+}
+
+func (a *diskArray) onDiskCtrlDone(t *queueing.Task) {
+	sr := t.Payload.(*stripeReq)
+	if a.rng.Float64() < a.diskSpec.HitRate {
+		a.join(sr)
+		return
+	}
+	t.Demand = sr.stripe
+	a.disks[sr.disk].hdd.Enqueue(t)
+}
+
+func (a *diskArray) onDriveDone(t *queueing.Task) {
+	a.join(t.Payload.(*stripeReq))
+}
+
+func (a *diskArray) join(sr *stripeReq) {
+	sr.fj.pending--
+	if sr.fj.pending == 0 {
+		a.buffer(sr.fj.parent)
+	}
+}
+
+func (a *diskArray) idle() bool {
+	for _, d := range a.disks {
+		if !d.idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// takeDriveBusy returns drive busy seconds summed over disks and drains the
+// controller-cache accumulators.
+func (a *diskArray) takeDriveBusy() float64 {
+	b := 0.0
+	for _, d := range a.disks {
+		b += d.hdd.TakeBusy()
+		d.dcc.TakeBusy()
+	}
+	return b
+}
+
+// RAIDSpec describes a redundant array of identical disks behind a disk
+// array controller cache (Fig. 3-7).
+type RAIDSpec struct {
+	Disks    int
+	Disk     DiskSpec
+	CtrlGbps float64 // disk array controller cache speed (Qdacc)
+	HitRate  float64 // cache hit rate at the array controller
+}
+
+func (s RAIDSpec) validate() error {
+	if s.Disks <= 0 || s.CtrlGbps <= 0 || s.HitRate < 0 || s.HitRate > 1 {
+		return fmt.Errorf("hardware: invalid RAIDSpec %+v", s)
+	}
+	return s.Disk.validate()
+}
+
+// RAID models the array of Fig. 3-7: requests pass the array controller
+// cache Qdacc; a cache hit completes immediately, a miss forks across all n
+// disks (striped demand) and joins when the slowest stripe finishes.
+type RAID struct {
+	core.AgentBase
+	spec     RAIDSpec
+	dacc     *queueing.FCFS
+	array    *diskArray
+	rng      *rand.Rand
+	inflight int // external requests admitted and not yet completed
+}
+
+// NewRAID creates and registers a RAID agent.
+func NewRAID(sim *core.Simulation, name string, spec RAIDSpec) *RAID {
+	if err := spec.validate(); err != nil {
+		panic(err)
+	}
+	id := sim.NextAgentID()
+	r := &RAID{
+		spec: spec,
+		dacc: queueing.NewFCFS(1, spec.CtrlGbps*1e9/8),
+		rng:  rand.New(rand.NewPCG(uint64(id)+1, 0x52414944)),
+	}
+	r.array = newDiskArray(spec.Disks, spec.Disk, uint64(id)+101, r.complete)
+	r.InitAgent(id, name)
+	sim.AddAgent(r)
+	return r
+}
+
+// Spec returns the array specification.
+func (r *RAID) Spec() RAIDSpec { return r.spec }
+
+// Enqueue admits a storage request (Demand in bytes) at the array
+// controller cache.
+func (r *RAID) Enqueue(t *queueing.Task) {
+	r.inflight++
+	ext := &extReq{parent: t, demand: t.Demand}
+	r.dacc.Enqueue(&queueing.Task{ID: t.ID, Demand: t.Demand, Payload: ext})
+}
+
+// complete buffers a finished external request.
+func (r *RAID) complete(t *queueing.Task) {
+	r.inflight--
+	r.BufferDone(t)
+}
+
+// Step advances the controller cache, then the disk pipelines. Idle arrays
+// return immediately: with a disk pipeline per spindle the per-tick cost of
+// an idle RAID would otherwise dominate large sweeps.
+func (r *RAID) Step(dt float64) {
+	if r.inflight == 0 {
+		return
+	}
+	r.dacc.Step(dt, r.onCtrlDone)
+	r.array.step(dt)
+}
+
+func (r *RAID) onCtrlDone(t *queueing.Task) {
+	ext := t.Payload.(*extReq)
+	if r.rng.Float64() < r.spec.HitRate {
+		r.complete(ext.parent) // array-cache hit bypasses the fork-join
+		return
+	}
+	r.array.fork(ext)
+}
+
+// Idle reports whether the whole array is empty.
+func (r *RAID) Idle() bool { return r.inflight == 0 }
+
+// TakeBusy returns drive busy seconds summed across disks since the last
+// call (the mechanical bottleneck of the array).
+func (r *RAID) TakeBusy() float64 {
+	r.dacc.TakeBusy()
+	return r.array.takeDriveBusy()
+}
+
+// Disks returns the number of disks in the array.
+func (r *RAID) Disks() int { return r.spec.Disks }
+
+// SANSpec describes a storage area network (Fig. 3-8): a fibre-channel
+// switch, an array controller cache and a fibre-channel arbitrated loop
+// ahead of the disk fork-join.
+type SANSpec struct {
+	Disks        int
+	Disk         DiskSpec
+	FCSwitchGbps float64 // Qfc-sw speed
+	CtrlGbps     float64 // Qdacc speed
+	FCALGbps     float64 // Qfc-al speed
+	HitRate      float64 // cache hit rate at the array controller
+}
+
+func (s SANSpec) validate() error {
+	if s.Disks <= 0 || s.FCSwitchGbps <= 0 || s.CtrlGbps <= 0 || s.FCALGbps <= 0 ||
+		s.HitRate < 0 || s.HitRate > 1 {
+		return fmt.Errorf("hardware: invalid SANSpec %+v", s)
+	}
+	return s.Disk.validate()
+}
+
+// SAN models the storage area network of Fig. 3-8. Requests traverse the
+// fibre-channel switch and the array controller cache; a cache hit skips
+// the arbitrated loop and the disks, a miss continues through the loop and
+// forks across the disks.
+type SAN struct {
+	core.AgentBase
+	spec     SANSpec
+	fcsw     *queueing.FCFS
+	dacc     *queueing.FCFS
+	fcal     *queueing.FCFS
+	array    *diskArray
+	rng      *rand.Rand
+	inflight int // external requests admitted and not yet completed
+}
+
+// NewSAN creates and registers a SAN agent.
+func NewSAN(sim *core.Simulation, name string, spec SANSpec) *SAN {
+	if err := spec.validate(); err != nil {
+		panic(err)
+	}
+	id := sim.NextAgentID()
+	s := &SAN{
+		spec: spec,
+		fcsw: queueing.NewFCFS(1, spec.FCSwitchGbps*1e9/8),
+		dacc: queueing.NewFCFS(1, spec.CtrlGbps*1e9/8),
+		fcal: queueing.NewFCFS(1, spec.FCALGbps*1e9/8),
+		rng:  rand.New(rand.NewPCG(uint64(id)+1, 0x53414e)),
+	}
+	s.array = newDiskArray(spec.Disks, spec.Disk, uint64(id)+101, s.complete)
+	s.InitAgent(id, name)
+	sim.AddAgent(s)
+	return s
+}
+
+// Spec returns the SAN specification.
+func (s *SAN) Spec() SANSpec { return s.spec }
+
+// Enqueue admits a storage request (Demand in bytes) at the FC switch.
+func (s *SAN) Enqueue(t *queueing.Task) {
+	s.inflight++
+	ext := &extReq{parent: t, demand: t.Demand}
+	s.fcsw.Enqueue(&queueing.Task{ID: t.ID, Demand: t.Demand, Payload: ext})
+}
+
+// complete buffers a finished external request.
+func (s *SAN) complete(t *queueing.Task) {
+	s.inflight--
+	s.BufferDone(t)
+}
+
+// Step advances the FC switch, controller cache, arbitrated loop and the
+// disk pipelines in pipeline order. Idle SANs return immediately.
+func (s *SAN) Step(dt float64) {
+	if s.inflight == 0 {
+		return
+	}
+	s.fcsw.Step(dt, s.onFCSwitchDone)
+	s.dacc.Step(dt, s.onCtrlDone)
+	s.fcal.Step(dt, s.onLoopDone)
+	s.array.step(dt)
+}
+
+func (s *SAN) onFCSwitchDone(t *queueing.Task) {
+	ext := t.Payload.(*extReq)
+	t.Demand = ext.demand
+	s.dacc.Enqueue(t)
+}
+
+func (s *SAN) onCtrlDone(t *queueing.Task) {
+	ext := t.Payload.(*extReq)
+	if s.rng.Float64() < s.spec.HitRate {
+		s.complete(ext.parent) // cache hit bypasses loop and disks
+		return
+	}
+	t.Demand = ext.demand
+	s.fcal.Enqueue(t)
+}
+
+func (s *SAN) onLoopDone(t *queueing.Task) {
+	s.array.fork(t.Payload.(*extReq))
+}
+
+// Idle reports whether the whole SAN is empty.
+func (s *SAN) Idle() bool { return s.inflight == 0 }
+
+// TakeBusy returns drive busy seconds summed across disks since last call.
+func (s *SAN) TakeBusy() float64 {
+	s.fcsw.TakeBusy()
+	s.dacc.TakeBusy()
+	s.fcal.TakeBusy()
+	return s.array.takeDriveBusy()
+}
+
+// Disks returns the number of disks in the SAN.
+func (s *SAN) Disks() int { return s.spec.Disks }
+
+var (
+	_ core.QueueAgent = (*RAID)(nil)
+	_ core.QueueAgent = (*SAN)(nil)
+)

@@ -1,0 +1,83 @@
+// Package ports implements the asynchronous messaging substrate of GDISim
+// (§4.2): active messages, port-based programming and the coordination
+// primitives of the Concurrency and Coordination Runtime (CCR) that the
+// original C# implementation was built on.
+//
+// A Port is a typed entry point to an agent's state. Posting a message pairs
+// it with the handler registered on the port (the "arbiter" step) into a
+// work item — an active message — which a Dispatcher executes on a fixed
+// thread pool. Handlers never block; coordination is expressed with the
+// primitives in receive.go (single/multiple item receivers, join, choice,
+// interleave).
+package ports
+
+import (
+	"fmt"
+	"sync"
+)
+
+// WorkItem is an active message: a closure pairing a message payload with
+// the handler to execute on arrival (§4.2.1). Work items run on the stack of
+// the dispatcher thread that pulls them, exactly as the paper describes.
+type WorkItem func()
+
+// Dispatcher executes work items on a fixed pool of worker goroutines
+// draining a shared dispatcher queue (Fig. 4-1).
+type Dispatcher struct {
+	queue chan WorkItem
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewDispatcher creates a dispatcher with the given number of worker
+// threads and queue capacity. It panics on a non-positive thread count.
+func NewDispatcher(threads, backlog int) *Dispatcher {
+	if threads <= 0 {
+		panic(fmt.Sprintf("ports: dispatcher needs threads > 0, got %d", threads))
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	d := &Dispatcher{queue: make(chan WorkItem, backlog)}
+	d.wg.Add(threads)
+	for i := 0; i < threads; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	for item := range d.queue {
+		item()
+	}
+}
+
+// Submit enqueues a work item, blocking if the dispatcher queue is full.
+// Submitting to a shut-down dispatcher panics: it indicates a lifecycle bug
+// in the caller.
+func (d *Dispatcher) Submit(item WorkItem) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		panic("ports: submit on shut-down dispatcher")
+	}
+	d.mu.Unlock()
+	d.queue <- item
+}
+
+// Shutdown stops accepting work and waits for queued items to finish.
+// It is idempotent.
+func (d *Dispatcher) Shutdown() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	close(d.queue)
+	d.wg.Wait()
+}

@@ -1,0 +1,26 @@
+package ports
+
+// Gather collects a fixed number of acknowledgement messages and lets the
+// master thread block until all of them have arrived — the Gather half of
+// the Scatter-Gather mechanism (Fig. 4-2). Scattering is plain: the master
+// posts one message per agent port, embedding g.Port() in the payload so
+// handlers know where to acknowledge.
+type Gather[A any] struct {
+	port *Port[A]
+	done chan []A
+}
+
+// NewGather returns a gatherer expecting n acknowledgements on its port.
+func NewGather[A any](d *Dispatcher, n int) *Gather[A] {
+	g := &Gather[A]{port: NewPort[A](d), done: make(chan []A, 1)}
+	MultipleItemReceive(g.port, (*Port[error])(nil), n, func(acks []A, _ []error) {
+		g.done <- acks
+	})
+	return g
+}
+
+// Port returns the acknowledgement port to embed in scattered messages.
+func (g *Gather[A]) Port() *Port[A] { return g.port }
+
+// Wait blocks until all acknowledgements arrived and returns them.
+func (g *Gather[A]) Wait() []A { return <-g.done }

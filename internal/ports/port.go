@@ -1,0 +1,85 @@
+package ports
+
+import "sync"
+
+// Port is a strongly-typed message entry point (§4.2.2). Messages posted to
+// the port are paired with registered receivers by the built-in arbiter and
+// submitted to the dispatcher for execution. When no receiver is waiting,
+// messages buffer in arrival order; when no message is available, receivers
+// queue in registration order.
+type Port[T any] struct {
+	disp *Dispatcher
+
+	mu    sync.Mutex
+	msgs  []T
+	recvs []*receiver[T]
+}
+
+// receiver pairs a delivery function with arbitration state. claim allows
+// composite arbiters (Choice) to atomically decide whether this receiver is
+// still eligible; a receiver whose claim fails is discarded and the message
+// is offered to the next receiver or re-buffered.
+type receiver[T any] struct {
+	persistent bool
+	claim      func() bool
+	deliver    func(T)
+}
+
+// NewPort creates a port bound to a dispatcher.
+func NewPort[T any](d *Dispatcher) *Port[T] {
+	if d == nil {
+		panic("ports: NewPort requires a dispatcher")
+	}
+	return &Port[T]{disp: d}
+}
+
+// Post sends a message to the port. If a receiver is registered the message
+// becomes a work item immediately; otherwise it buffers.
+func (p *Port[T]) Post(msg T) {
+	p.mu.Lock()
+	for len(p.recvs) > 0 {
+		r := p.recvs[0]
+		if r.claim != nil && !r.claim() {
+			// Receiver was cancelled by its arbiter (e.g. lost a Choice);
+			// drop it and try the next one.
+			p.recvs = p.recvs[1:]
+			continue
+		}
+		if !r.persistent {
+			p.recvs = p.recvs[1:]
+		}
+		p.mu.Unlock()
+		p.disp.Submit(func() { r.deliver(msg) })
+		return
+	}
+	p.msgs = append(p.msgs, msg)
+	p.mu.Unlock()
+}
+
+// Pending reports the number of buffered messages.
+func (p *Port[T]) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.msgs)
+}
+
+// register attaches a receiver, draining any buffered messages first.
+func (p *Port[T]) register(r *receiver[T]) {
+	p.mu.Lock()
+	for len(p.msgs) > 0 {
+		if r.claim != nil && !r.claim() {
+			p.mu.Unlock()
+			return
+		}
+		msg := p.msgs[0]
+		p.msgs = p.msgs[1:]
+		p.mu.Unlock()
+		p.disp.Submit(func() { r.deliver(msg) })
+		if !r.persistent {
+			return
+		}
+		p.mu.Lock()
+	}
+	p.recvs = append(p.recvs, r)
+	p.mu.Unlock()
+}

@@ -1,0 +1,170 @@
+package ports
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Coordination primitives (§4.2.3). These correspond one-to-one to the CCR
+// primitives listed in the thesis: Single Item Receiver, Multiple Item
+// Receiver, Join Receiver, Choice and Interleave.
+
+// Receive registers handler to run for messages arriving on the port — the
+// Single Item Receiver. With persistent=false the handler runs for exactly
+// one message; with persistent=true it runs for every message.
+func Receive[T any](p *Port[T], persistent bool, handler func(T)) {
+	p.register(&receiver[T]{persistent: persistent, deliver: handler})
+}
+
+// MultipleItemReceive registers handler to be launched once n messages have
+// accumulated across the success port (type M) and the failure port (type
+// E), with p+q = n — the Multiple Item Receiver used by the Gather phase of
+// Scatter-Gather (Fig. 4-2). The handler receives both payload slices.
+func MultipleItemReceive[M, E any](success *Port[M], failure *Port[E], n int, handler func([]M, []E)) {
+	if n <= 0 {
+		panic("ports: MultipleItemReceive needs n > 0")
+	}
+	c := &multiCollector[M, E]{n: n, handler: handler}
+	Receive(success, true, c.onSuccess)
+	if failure != nil {
+		Receive(failure, true, c.onFailure)
+	}
+}
+
+type multiCollector[M, E any] struct {
+	mu       sync.Mutex
+	n        int
+	oks      []M
+	errs     []E
+	handler  func([]M, []E)
+	finished bool
+}
+
+func (c *multiCollector[M, E]) onSuccess(m M) {
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		return
+	}
+	c.oks = append(c.oks, m)
+	c.maybeFireLocked()
+}
+
+func (c *multiCollector[M, E]) onFailure(e E) {
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		return
+	}
+	c.errs = append(c.errs, e)
+	c.maybeFireLocked()
+}
+
+// maybeFireLocked must be entered holding c.mu; it releases it.
+func (c *multiCollector[M, E]) maybeFireLocked() {
+	if len(c.oks)+len(c.errs) >= c.n {
+		oks, errs := c.oks, c.errs
+		c.finished = true
+		c.mu.Unlock()
+		c.handler(oks, errs)
+		return
+	}
+	c.mu.Unlock()
+}
+
+// Join registers handler to be launched when one message has arrived on
+// each of the two ports — the Join Receiver. One-shot.
+func Join[A, B any](pa *Port[A], pb *Port[B], handler func(A, B)) {
+	j := &joiner[A, B]{handler: handler}
+	Receive(pa, false, j.onA)
+	Receive(pb, false, j.onB)
+}
+
+type joiner[A, B any] struct {
+	mu      sync.Mutex
+	a       *A
+	b       *B
+	handler func(A, B)
+}
+
+func (j *joiner[A, B]) onA(a A) {
+	j.mu.Lock()
+	j.a = &a
+	j.fireLocked()
+}
+
+func (j *joiner[A, B]) onB(b B) {
+	j.mu.Lock()
+	j.b = &b
+	j.fireLocked()
+}
+
+// fireLocked must be entered holding j.mu; it releases it.
+func (j *joiner[A, B]) fireLocked() {
+	if j.a != nil && j.b != nil {
+		a, b := *j.a, *j.b
+		j.mu.Unlock()
+		j.handler(a, b)
+		return
+	}
+	j.mu.Unlock()
+}
+
+// Choice registers handlerA on port A and handlerB on port B; whichever
+// port receives a message first wins and the other registration is
+// cancelled atomically. One-shot.
+func Choice[A, B any](pa *Port[A], handlerA func(A), pb *Port[B], handlerB func(B)) {
+	var decided atomic.Bool
+	claim := func() bool { return decided.CompareAndSwap(false, true) }
+	pa.register(&receiver[A]{claim: claim, deliver: handlerA})
+	pb.register(&receiver[B]{claim: claim, deliver: handlerB})
+}
+
+// Interleave groups handler executions the way the CCR interleave arbiter
+// does (§4.2.3): Concurrent handlers run in parallel with each other,
+// Exclusive handlers run alone, and Teardown handlers run alone exactly
+// once, after which the interleave rejects further work.
+type Interleave struct {
+	mu       sync.RWMutex
+	torndown atomic.Bool
+}
+
+// NewInterleave returns a ready-to-use interleave policy.
+func NewInterleave() *Interleave { return &Interleave{} }
+
+// Concurrent wraps a handler into the concurrent group of the interleave.
+func Concurrent[T any](il *Interleave, handler func(T)) func(T) {
+	return func(msg T) {
+		il.mu.RLock()
+		defer il.mu.RUnlock()
+		if il.torndown.Load() {
+			return
+		}
+		handler(msg)
+	}
+}
+
+// Exclusive wraps a handler into the exclusive group of the interleave.
+func Exclusive[T any](il *Interleave, handler func(T)) func(T) {
+	return func(msg T) {
+		il.mu.Lock()
+		defer il.mu.Unlock()
+		if il.torndown.Load() {
+			return
+		}
+		handler(msg)
+	}
+}
+
+// Teardown wraps a handler into the teardown group: it runs atomically, at
+// most once, and permanently disables the interleave afterwards.
+func Teardown[T any](il *Interleave, handler func(T)) func(T) {
+	return func(msg T) {
+		il.mu.Lock()
+		defer il.mu.Unlock()
+		if !il.torndown.CompareAndSwap(false, true) {
+			return
+		}
+		handler(msg)
+	}
+}

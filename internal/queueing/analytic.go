@@ -1,0 +1,125 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Analytic M/M/c results (Kendall's notation, Appendix A of the thesis).
+// These closed forms are the classical queueing-theory counterparts of the
+// simulated queues and are used in tests to cross-validate the discrete-time
+// implementations against theory.
+
+// ErlangC returns the probability that an arriving customer must wait in an
+// M/M/c system with offered load a = lambda/mu (in Erlangs). It requires
+// a < c for stability.
+func ErlangC(c int, a float64) (float64, error) {
+	if c <= 0 {
+		return 0, fmt.Errorf("queueing: ErlangC needs c > 0, got %d", c)
+	}
+	if a < 0 {
+		return 0, fmt.Errorf("queueing: ErlangC needs a >= 0, got %v", a)
+	}
+	if a >= float64(c) {
+		return 0, fmt.Errorf("queueing: unstable system a=%v >= c=%d", a, c)
+	}
+	// Iterative Erlang-B then convert to Erlang-C for numerical stability.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b)), nil
+}
+
+// MMc summarizes an M/M/c queue with arrival rate lambda and per-server
+// service rate mu.
+type MMc struct {
+	C      int
+	Lambda float64
+	Mu     float64
+}
+
+// Utilization returns rho = lambda/(c*mu).
+func (m MMc) Utilization() float64 { return m.Lambda / (float64(m.C) * m.Mu) }
+
+// MeanWait returns the mean time spent waiting in queue (Wq).
+func (m MMc) MeanWait() (float64, error) {
+	pw, err := ErlangC(m.C, m.Lambda/m.Mu)
+	if err != nil {
+		return 0, err
+	}
+	return pw / (float64(m.C)*m.Mu - m.Lambda), nil
+}
+
+// MeanResponse returns the mean sojourn time (W = Wq + 1/mu).
+func (m MMc) MeanResponse() (float64, error) {
+	wq, err := m.MeanWait()
+	if err != nil {
+		return 0, err
+	}
+	return wq + 1/m.Mu, nil
+}
+
+// MeanQueueLength returns the mean number waiting (Lq), by Little's law.
+func (m MMc) MeanQueueLength() (float64, error) {
+	wq, err := m.MeanWait()
+	if err != nil {
+		return 0, err
+	}
+	return m.Lambda * wq, nil
+}
+
+// MM1PS gives the mean sojourn time of an M/M/1 processor-sharing queue,
+// which equals the M/M/1-FCFS mean response (1/(mu-lambda)) by symmetry of
+// the PS discipline, plus any constant latency.
+func MM1PS(lambda, mu, latency float64) (float64, error) {
+	if lambda >= mu {
+		return 0, fmt.Errorf("queueing: unstable PS lambda=%v >= mu=%v", lambda, mu)
+	}
+	return 1/(mu-lambda) + latency, nil
+}
+
+// ForkJoinZeroLoadExp returns the exact mean completion time of an n-way
+// fork-join whose branches have independent Exp(mu) service times and no
+// queueing (zero load): E[max of n iid exponentials] = H_n / mu. It is the
+// theoretical reference for the RAID/SAN fork-join structures under light
+// load (Figs. 3-7 and 3-8).
+func ForkJoinZeroLoadExp(n int, mu float64) (float64, error) {
+	if n <= 0 || mu <= 0 {
+		return 0, fmt.Errorf("queueing: ForkJoinZeroLoadExp needs n > 0, mu > 0")
+	}
+	return harmonic(n) / mu, nil
+}
+
+func harmonic(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// RequiredServers returns the minimum number of servers c such that an M/M/c
+// queue with the given lambda and mu keeps mean waiting time below maxWait.
+// It is the capacity-planning primitive behind the examples/capacity tool.
+func RequiredServers(lambda, mu, maxWait float64) (int, error) {
+	if lambda <= 0 || mu <= 0 || maxWait <= 0 {
+		return 0, fmt.Errorf("queueing: RequiredServers needs positive arguments")
+	}
+	minC := int(math.Ceil(lambda/mu + 1e-9))
+	if float64(minC)*mu <= lambda {
+		minC++
+	}
+	for c := minC; c < minC+10000; c++ {
+		m := MMc{C: c, Lambda: lambda, Mu: mu}
+		wq, err := m.MeanWait()
+		if err != nil {
+			continue
+		}
+		if wq <= maxWait {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("queueing: no server count below %d satisfies wait %v", minC+10000, maxWait)
+}

@@ -1,0 +1,167 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestErlangCKnownValues(t *testing.T) {
+	// M/M/1: P(wait) = rho.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		got, err := ErlangC(1, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-rho) > 1e-12 {
+			t.Errorf("ErlangC(1,%v) = %v, want %v", rho, got, rho)
+		}
+	}
+	// Classic telephone-engineering value: c=10, a=7 Erlangs => ~0.2217.
+	got, err := ErlangC(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.2217) > 0.001 {
+		t.Errorf("ErlangC(10,7) = %v, want ~0.2217", got)
+	}
+}
+
+func TestErlangCErrors(t *testing.T) {
+	if _, err := ErlangC(0, 0.5); err == nil {
+		t.Error("ErlangC(0,...) should error")
+	}
+	if _, err := ErlangC(2, -1); err == nil {
+		t.Error("ErlangC with negative load should error")
+	}
+	if _, err := ErlangC(2, 2); err == nil {
+		t.Error("ErlangC at saturation should error")
+	}
+}
+
+func TestMMcMeanWaitMM1(t *testing.T) {
+	// M/M/1: Wq = rho/(mu-lambda).
+	m := MMc{C: 1, Lambda: 0.5, Mu: 1}
+	wq, err := m.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.5 / (1 - 0.5); math.Abs(wq-want) > 1e-12 {
+		t.Errorf("Wq = %v, want %v", wq, want)
+	}
+	w, err := m.MeanResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 / (1 - 0.5); math.Abs(w-want) > 1e-12 {
+		t.Errorf("W = %v, want %v", w, want)
+	}
+}
+
+func TestMMcLittleLaw(t *testing.T) {
+	m := MMc{C: 4, Lambda: 3, Mu: 1}
+	wq, err := m.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lq, err := m.MeanQueueLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lq-m.Lambda*wq) > 1e-12 {
+		t.Errorf("Little's law violated: Lq=%v lambda*Wq=%v", lq, m.Lambda*wq)
+	}
+}
+
+// Property: Erlang C is monotone increasing in offered load and within [0,1].
+func TestErlangCMonotoneInLoad(t *testing.T) {
+	f := func(rawA, rawB uint16) bool {
+		c := 8
+		a := float64(rawA%700) / 100 // [0, 7)
+		b := float64(rawB%700) / 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, err1 := ErlangC(c, a)
+		pb, err2 := ErlangC(c, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return pa >= 0 && pb <= 1 && pa <= pb+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding servers never increases the waiting probability.
+func TestErlangCMonotoneInServers(t *testing.T) {
+	f := func(raw uint16) bool {
+		a := float64(raw%150)/100 + 0.1 // [0.1, 1.6)
+		p2, err1 := ErlangC(2, a)
+		p4, err2 := ErlangC(4, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p4 <= p2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMM1PS(t *testing.T) {
+	w, err := MM1PS(0.5, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0 + 0.1; math.Abs(w-want) > 1e-12 {
+		t.Errorf("MM1PS = %v, want %v", w, want)
+	}
+	if _, err := MM1PS(1, 1, 0); err == nil {
+		t.Error("MM1PS at saturation should error")
+	}
+}
+
+func TestForkJoinZeroLoadExp(t *testing.T) {
+	got, err := ForkJoinZeroLoadExp(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + 0.5 + 1.0/3.0) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ForkJoinZeroLoadExp(3,2) = %v, want %v", got, want)
+	}
+	if _, err := ForkJoinZeroLoadExp(0, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestRequiredServers(t *testing.T) {
+	// lambda=3, mu=1: at least 4 servers for stability; more for tight SLAs.
+	c, err := RequiredServers(3, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 4 {
+		t.Errorf("RequiredServers returned unstable count %d", c)
+	}
+	m := MMc{C: c, Lambda: 3, Mu: 1}
+	wq, err := m.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wq > 0.5 {
+		t.Errorf("returned c=%d violates SLA: Wq=%v", c, wq)
+	}
+	if c > 4 {
+		// The next smaller count must violate the SLA (minimality).
+		m = MMc{C: c - 1, Lambda: 3, Mu: 1}
+		if wq, err := m.MeanWait(); err == nil && wq <= 0.5 {
+			t.Errorf("c=%d is not minimal, c-1 also satisfies SLA", c)
+		}
+	}
+	if _, err := RequiredServers(-1, 1, 1); err == nil {
+		t.Error("negative lambda should error")
+	}
+}

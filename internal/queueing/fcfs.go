@@ -1,0 +1,124 @@
+package queueing
+
+import "fmt"
+
+// eps guards float comparisons when resolving sub-step completions.
+const eps = 1e-12
+
+// FCFS is a first-come-first-served queue with c identical servers, each
+// consuming Demand units at rate units/second. It models the CPU core group
+// (M/M/q per socket, Fig. 3-4), NICs and switches (M/M/1, Fig. 3-6), and the
+// per-disk queues inside RAID and SAN fork-join structures (Figs. 3-7, 3-8).
+type FCFS struct {
+	rate    float64
+	servers int
+
+	waiting   fifo
+	inService []*Task
+
+	busy     float64 // accumulated server-seconds of busy time
+	arrivals uint64
+	departs  uint64
+}
+
+// NewFCFS returns an FCFS queue with the given number of servers and
+// per-server service rate (units per second). It panics on non-positive
+// arguments: a queue that can never serve work is a configuration error.
+func NewFCFS(servers int, rate float64) *FCFS {
+	if servers <= 0 || rate <= 0 {
+		panic(fmt.Sprintf("queueing: invalid FCFS servers=%d rate=%v", servers, rate))
+	}
+	return &FCFS{rate: rate, servers: servers, inService: make([]*Task, 0, servers)}
+}
+
+// Rate returns the per-server service rate.
+func (q *FCFS) Rate() float64 { return q.rate }
+
+// Servers returns the number of servers.
+func (q *FCFS) Servers() int { return q.servers }
+
+// Enqueue adds a task at the tail. Zero-demand tasks are legal and complete
+// on the next Step.
+func (q *FCFS) Enqueue(t *Task) {
+	q.arrivals++
+	q.waiting.push(t)
+}
+
+// Waiting reports the number of queued (not in service) tasks.
+func (q *FCFS) Waiting() int { return q.waiting.len() }
+
+// InService reports the number of tasks in service.
+func (q *FCFS) InService() int { return len(q.inService) }
+
+// Idle reports whether the queue holds no work.
+func (q *FCFS) Idle() bool { return len(q.inService) == 0 && q.waiting.len() == 0 }
+
+// Arrivals returns the total number of tasks ever enqueued.
+func (q *FCFS) Arrivals() uint64 { return q.arrivals }
+
+// Departures returns the total number of tasks ever completed.
+func (q *FCFS) Departures() uint64 { return q.departs }
+
+// TakeBusy returns and resets the accumulated busy server-seconds.
+func (q *FCFS) TakeBusy() float64 {
+	b := q.busy
+	q.busy = 0
+	return b
+}
+
+// fill moves waiting tasks onto idle servers.
+func (q *FCFS) fill() {
+	for len(q.inService) < q.servers {
+		t := q.waiting.pop()
+		if t == nil {
+			return
+		}
+		q.inService = append(q.inService, t)
+	}
+}
+
+// Step advances the queue by dt seconds. Completions within the step are
+// resolved exactly: the step is subdivided at each completion instant so a
+// freed server immediately picks up the next waiting task.
+func (q *FCFS) Step(dt float64, done DoneFunc) {
+	q.fill()
+	remaining := dt
+	for remaining > eps && len(q.inService) > 0 {
+		// Time until the earliest in-service completion.
+		sub := remaining
+		for _, t := range q.inService {
+			if ttc := t.Demand / q.rate; ttc < sub {
+				sub = ttc
+			}
+		}
+		if sub < 0 {
+			sub = 0
+		}
+		work := sub * q.rate
+		q.busy += sub * float64(len(q.inService))
+		// Advance all in-service tasks, compacting completions in place.
+		kept := q.inService[:0]
+		for _, t := range q.inService {
+			t.Demand -= work
+			if t.Demand <= eps*q.rate {
+				t.Demand = 0
+				q.departs++
+				done(t)
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		// Zero trailing slots so completed tasks do not leak.
+		for i := len(kept); i < len(q.inService); i++ {
+			q.inService[i] = nil
+		}
+		q.inService = kept
+		q.fill()
+		remaining -= sub
+		if sub == 0 && len(q.inService) > 0 {
+			// Only zero-demand tasks were completed; loop again without
+			// consuming time.
+			continue
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package queueing
+
+import "fmt"
+
+// PS is a processor-sharing queue with a connection limit k and a constant
+// per-task latency, modeling network links (M/M/1/k-PS, Fig. 3-6 right).
+// Up to k tasks are served simultaneously; the service rate is divided
+// uniformly among them. Each task additionally waits out a fixed latency
+// (propagation delay) before its transfer begins, while holding one of the
+// k connection slots, matching the paper's "latency ... added to the
+// processing time of each task".
+type PS struct {
+	rate    float64 // units per second, shared among active tasks
+	k       int     // max simultaneous connections
+	latency float64 // seconds added ahead of each task's transfer
+
+	waiting   fifo
+	inService []*Task
+
+	work     float64 // accumulated transmitted units (for utilization)
+	arrivals uint64
+	departs  uint64
+}
+
+// NewPS returns a processor-sharing queue with aggregate rate (units/second),
+// connection limit k and constant latency in seconds. Panics on non-positive
+// rate or k, or negative latency.
+func NewPS(rate float64, k int, latency float64) *PS {
+	if rate <= 0 || k <= 0 || latency < 0 {
+		panic(fmt.Sprintf("queueing: invalid PS rate=%v k=%d latency=%v", rate, k, latency))
+	}
+	return &PS{rate: rate, k: k, latency: latency}
+}
+
+// Rate returns the aggregate service rate.
+func (q *PS) Rate() float64 { return q.rate }
+
+// Latency returns the constant per-task delay in seconds.
+func (q *PS) Latency() float64 { return q.latency }
+
+// MaxConnections returns the connection limit k.
+func (q *PS) MaxConnections() int { return q.k }
+
+// Enqueue adds a task. Its Delay field is initialized to the link latency.
+func (q *PS) Enqueue(t *Task) {
+	q.arrivals++
+	t.Delay = q.latency
+	q.waiting.push(t)
+}
+
+// Waiting reports tasks awaiting a connection slot.
+func (q *PS) Waiting() int { return q.waiting.len() }
+
+// InService reports tasks holding a connection slot.
+func (q *PS) InService() int { return len(q.inService) }
+
+// Idle reports whether the queue holds no work.
+func (q *PS) Idle() bool { return len(q.inService) == 0 && q.waiting.len() == 0 }
+
+// Arrivals returns the total number of tasks ever enqueued.
+func (q *PS) Arrivals() uint64 { return q.arrivals }
+
+// Departures returns the total number of tasks ever completed.
+func (q *PS) Departures() uint64 { return q.departs }
+
+// TakeBusy returns and resets the accumulated transmitted units. Dividing by
+// rate x window yields the link utilization of the window.
+func (q *PS) TakeBusy() float64 {
+	w := q.work
+	q.work = 0
+	return w
+}
+
+func (q *PS) fill() {
+	for len(q.inService) < q.k {
+		t := q.waiting.pop()
+		if t == nil {
+			return
+		}
+		q.inService = append(q.inService, t)
+	}
+}
+
+// Step advances the queue by dt seconds resolving completions exactly.
+// Bandwidth is shared among all tasks holding a slot whose latency phase has
+// elapsed; tasks still in the latency phase only count down their delay.
+func (q *PS) Step(dt float64, done DoneFunc) {
+	q.fill()
+	remaining := dt
+	for remaining > eps && len(q.inService) > 0 {
+		transferring := 0
+		for _, t := range q.inService {
+			if t.Delay <= eps {
+				transferring++
+			}
+		}
+		share := 0.0
+		if transferring > 0 {
+			share = q.rate / float64(transferring)
+		}
+		// Next event: earliest latency expiry or transfer completion,
+		// capped by the remaining step.
+		sub := remaining
+		for _, t := range q.inService {
+			if t.Delay > eps {
+				if t.Delay < sub {
+					sub = t.Delay
+				}
+			} else if share > 0 {
+				if ttc := t.Demand / share; ttc < sub {
+					sub = ttc
+				}
+			}
+		}
+		if sub < 0 {
+			sub = 0
+		}
+		kept := q.inService[:0]
+		for _, t := range q.inService {
+			if t.Delay > eps {
+				t.Delay -= sub
+				if t.Delay < eps {
+					t.Delay = 0
+				}
+				kept = append(kept, t)
+				continue
+			}
+			consumed := sub * share
+			t.Demand -= consumed
+			q.work += consumed
+			if t.Demand <= eps*q.rate {
+				t.Demand = 0
+				q.departs++
+				done(t)
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		for i := len(kept); i < len(q.inService); i++ {
+			q.inService[i] = nil
+		}
+		q.inService = kept
+		q.fill()
+		remaining -= sub
+		if sub == 0 {
+			// Zero-demand transfers completed without consuming time;
+			// iterate again to make progress on the rest.
+			continue
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package queueing
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPSPanics(t *testing.T) {
+	cases := []struct {
+		rate    float64
+		k       int
+		latency float64
+	}{{0, 1, 0}, {1, 0, 0}, {1, 1, -1}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPS(%v,%d,%v) did not panic", c.rate, c.k, c.latency)
+				}
+			}()
+			NewPS(c.rate, c.k, c.latency)
+		}()
+	}
+}
+
+func TestPSSingleTransfer(t *testing.T) {
+	q := NewPS(100, 10, 0) // 100 units/sec
+	q.Enqueue(&Task{ID: 1, Demand: 50})
+	var done []*Task
+	q.Step(0.5, collect(&done))
+	if len(done) != 1 {
+		t.Fatalf("50 units at 100/s should finish in 0.5s")
+	}
+}
+
+func TestPSLatencyDelaysCompletion(t *testing.T) {
+	q := NewPS(100, 10, 0.2)
+	q.Enqueue(&Task{ID: 1, Demand: 50})
+	var done []*Task
+	q.Step(0.5, collect(&done)) // latency 0.2 + transfer 0.5 = 0.7 total
+	if len(done) != 0 {
+		t.Fatal("completed before latency + transfer elapsed")
+	}
+	q.Step(0.21, collect(&done))
+	if len(done) != 1 {
+		t.Fatalf("should complete at 0.7s, done=%d", len(done))
+	}
+}
+
+func TestPSBandwidthSharing(t *testing.T) {
+	// Two equal transfers share the link and finish together, taking twice
+	// as long as one alone.
+	q := NewPS(100, 10, 0)
+	q.Enqueue(&Task{ID: 1, Demand: 50})
+	q.Enqueue(&Task{ID: 2, Demand: 50})
+	var done []*Task
+	q.Step(0.99, collect(&done))
+	if len(done) != 0 {
+		t.Fatalf("shared transfers finished early: %d", len(done))
+	}
+	q.Step(0.02, collect(&done))
+	if len(done) != 2 {
+		t.Fatalf("both transfers should finish at 1.0s, done=%d", len(done))
+	}
+}
+
+func TestPSConnectionLimitQueues(t *testing.T) {
+	q := NewPS(100, 1, 0) // one connection at a time
+	q.Enqueue(&Task{ID: 1, Demand: 50})
+	q.Enqueue(&Task{ID: 2, Demand: 50})
+	if q.InService() != 0 || q.Waiting() != 2 {
+		t.Fatalf("pre-step: inService=%d waiting=%d", q.InService(), q.Waiting())
+	}
+	var done []*Task
+	q.Step(0.5, collect(&done))
+	if len(done) != 1 || done[0].ID != 1 {
+		t.Fatalf("first transfer should finish alone at 0.5s: %v", done)
+	}
+	if q.InService() != 1 {
+		t.Errorf("second transfer should now hold the slot")
+	}
+	q.Step(0.5, collect(&done))
+	if len(done) != 2 {
+		t.Fatalf("second transfer should finish at 1.0s")
+	}
+}
+
+func TestPSWorkAccounting(t *testing.T) {
+	q := NewPS(100, 4, 0)
+	q.Enqueue(&Task{ID: 1, Demand: 30})
+	var done []*Task
+	q.Step(1, collect(&done))
+	if w := q.TakeBusy(); math.Abs(w-30) > 1e-9 {
+		t.Errorf("transmitted %v units, want 30", w)
+	}
+}
+
+// Property: shared-rate completion order equals arrival order for equal
+// demands (PS with equal demands preserves ordering), and total transmitted
+// units equal total demand.
+func TestPSConservation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 32 {
+			return true
+		}
+		q := NewPS(10, 4, 0.05)
+		total := 0.0
+		for i, r := range raw {
+			d := float64(r%50)/10 + 0.1
+			total += d
+			q.Enqueue(&Task{ID: uint64(i), Demand: d})
+		}
+		var done []*Task
+		for i := 0; i < 100000 && !q.Idle(); i++ {
+			q.Step(0.02, collect(&done))
+		}
+		if len(done) != len(raw) {
+			return false
+		}
+		return math.Abs(q.TakeBusy()-total) < 1e-6*float64(len(raw))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cross-validation: a PS queue with a generous connection limit under
+// Poisson/exponential traffic approaches the M/M/1-PS sojourn time.
+func TestPSMatchesMM1PSTheory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stochastic cross-validation skipped in -short")
+	}
+	lambda, mu := 0.6, 1.0
+	q := NewPS(1.0, 1024, 0)
+	rng := rand.New(rand.NewPCG(7, 7))
+	res := Drive(q, 1, lambda, mu, 60000, 0.01, rng)
+	want, err := MM1PS(lambda, mu, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(res.MeanResponse-want) / want
+	if relErr > 0.08 {
+		t.Errorf("M/M/1-PS: simulated W=%.4f analytic W=%.4f relErr=%.1f%%",
+			res.MeanResponse, want, relErr*100)
+	}
+}

@@ -1,0 +1,103 @@
+package refdata
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesTotalsMatchTable51(t *testing.T) {
+	// Table 5.1's TOTAL row: 101.68 / 177.58 / 243.47 seconds.
+	want := map[SeriesType]float64{Light: 101.68, Average: 177.58, Heavy: 243.47}
+	for s, total := range want {
+		if got := SeriesTotal(s); math.Abs(got-total) > 0.01 {
+			t.Errorf("SeriesTotal(%s) = %v, want %v", s, got, total)
+		}
+	}
+}
+
+func TestEveryOperationHasDurations(t *testing.T) {
+	for _, s := range SeriesTypes {
+		for _, op := range CADOperations {
+			if _, ok := Table51Durations[s][op]; !ok {
+				t.Errorf("missing duration for %s/%s", s, op)
+			}
+		}
+	}
+}
+
+func TestExperimentsAreOrderedByPressure(t *testing.T) {
+	// Later experiments launch series more frequently (higher pressure).
+	rate := func(e Experiment) float64 {
+		r := 0.0
+		for _, iv := range e.Interval {
+			r += 1 / iv
+		}
+		return r
+	}
+	for i := 1; i < len(ValidationExperiments); i++ {
+		if rate(ValidationExperiments[i]) <= rate(ValidationExperiments[i-1]) {
+			t.Errorf("experiment %d not more intense than %d", i, i-1)
+		}
+	}
+}
+
+func TestTable52MonotoneAcrossExperiments(t *testing.T) {
+	for _, tier := range ValidationTiers {
+		for i := 1; i < 3; i++ {
+			if Table52Physical[i][tier].Mean <= Table52Physical[i-1][tier].Mean {
+				t.Errorf("physical %s mean not increasing at experiment %d", tier, i)
+			}
+		}
+	}
+}
+
+func TestTable72RowsSumTo100(t *testing.T) {
+	for dc, row := range Table72APM {
+		sum := 0.0
+		for _, p := range row {
+			sum += p
+		}
+		// The published table rounds to two decimals; rows sum to 100
+		// within rounding error (AFR sums to 100.02 as printed).
+		if math.Abs(sum-100) > 0.05 {
+			t.Errorf("APM row %s sums to %v", dc, sum)
+		}
+	}
+}
+
+func TestBackupLinksIdleInBothTables(t *testing.T) {
+	for _, key := range []string{"EU->AFR", "EU->AS1"} {
+		if Table61LinkUtil[key] != 0 || Table73LinkUtil[key] != 0 {
+			t.Errorf("backup link %s should be idle in both case studies", key)
+		}
+	}
+}
+
+func TestMultiMasterImprovesBackgroundEffectiveness(t *testing.T) {
+	if MultiMasterMaxStaleMin >= ConsolidatedMaxStaleMin {
+		t.Error("multi-master staleness should improve")
+	}
+	if MultiMasterMaxUnsearchMin >= ConsolidatedMaxUnsearchMin {
+		t.Error("multi-master index freshness should improve")
+	}
+	reduction := 1 - MultiMasterPeakPushNAMB/ConsolidatedPeakPushMB
+	if math.Abs(reduction-0.43) > 0.02 {
+		t.Errorf("NA volume reduction = %v, thesis reports ~43%%", reduction)
+	}
+}
+
+func TestHDispatchDominatesScatterGather(t *testing.T) {
+	sg := map[int]float64{}
+	for _, r := range Table41ScatterGather {
+		sg[r.Threads] = r.Speedup
+	}
+	for _, r := range Table42HDispatch {
+		if r.Threads == 1 {
+			continue
+		}
+		if r.Speedup <= sg[r.Threads] {
+			t.Errorf("H-Dispatch speedup at %d threads (%v) should exceed Scatter-Gather (%v)",
+				r.Threads, r.Speedup, sg[r.Threads])
+		}
+	}
+}

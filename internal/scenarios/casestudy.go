@@ -1,0 +1,362 @@
+package scenarios
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/background"
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/metrics"
+	"repro/internal/refdata"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// CaseConfig parameterizes the Chapter 6 and 7 case-study runs.
+type CaseConfig struct {
+	Step   float64 // default 10 ms
+	Seed   uint64
+	Engine core.Engine
+	// StartHour/EndHour bound the simulated window of the day in GMT;
+	// defaults cover the full day [0, 24).
+	StartHour, EndHour int
+	// Scale multiplies client populations, data growth, core counts and
+	// WAN bandwidth together, preserving utilizations while shrinking the
+	// run for tests and benchmarks. Default 1.
+	Scale float64
+	// DisableClients drops the interactive workloads (background-only
+	// studies); DisableBackground drops the SR/IB daemons.
+	DisableClients    bool
+	DisableBackground bool
+}
+
+func (c *CaseConfig) defaults() error {
+	if c.Step <= 0 {
+		c.Step = 0.01
+	}
+	if c.EndHour == 0 {
+		c.EndHour = 24
+	}
+	if c.StartHour < 0 || c.EndHour <= c.StartHour || c.EndHour > 24 {
+		return fmt.Errorf("scenarios: bad hour window [%d, %d)", c.StartHour, c.EndHour)
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return nil
+}
+
+// scaleCores scales a core count, keeping at least one core.
+func (c CaseConfig) scaleCores(n int) int {
+	s := int(math.Round(float64(n) * c.Scale))
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// dcTraits captures the per-data-center knobs of the case studies.
+type dcTraits struct {
+	// Business window in GMT hours and client population peaks.
+	BizStart, BizEnd int
+	CADPeak, VISPeak float64
+	PDMPeak          float64
+	// GrowthPeakMBh is the data-generation rate at the plateau.
+	GrowthPeakMBh float64
+	// Master tiers present (app/db/idx); fs always present.
+	Master bool
+	// Tier core sizing (per server) and server counts.
+	AppServers, AppCores int
+	DBServers, DBCores   int
+	IdxServers, IdxCores int
+	FSServers, FSCores   int
+	ClientSlots          int
+}
+
+// CaseStudy is a built consolidation or multiple-master run.
+type CaseStudy struct {
+	Name    string
+	Cfg     CaseConfig
+	Sim     *core.Simulation
+	Inf     *topology.Infrastructure
+	Masters []string
+	Sync    map[string]*background.SyncDaemon
+	Idx     map[string]*background.IndexDaemon
+	Growth  background.GrowthModel
+	APM     workload.AccessMatrix
+
+	traits map[string]dcTraits
+}
+
+// buildCaseStudy wires the infrastructure, workloads and daemons shared by
+// both case studies.
+func buildCaseStudy(name string, cfg CaseConfig, traits map[string]dcTraits,
+	apm workload.AccessMatrix, masters []string, idxHeadroom float64) (*CaseStudy, error) {
+
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	sim := core.NewSimulation(core.Config{
+		Step:         cfg.Step,
+		CollectEvery: int(math.Round(60 / cfg.Step)), // 1-minute snapshots
+		Seed:         cfg.Seed,
+		Engine:       cfg.Engine,
+	})
+	spec, err := caseInfraSpec(cfg, traits)
+	if err != nil {
+		return nil, err
+	}
+	inf, err := topology.Build(sim, spec)
+	if err != nil {
+		return nil, err
+	}
+	inf.RegisterProbes(sim.Collector)
+
+	cs := &CaseStudy{
+		Name: name, Cfg: cfg, Sim: sim, Inf: inf,
+		Masters: masters,
+		Sync:    map[string]*background.SyncDaemon{},
+		Idx:     map[string]*background.IndexDaemon{},
+		APM:     apm,
+		traits:  traits,
+	}
+	cs.Growth = background.GrowthModel{}
+	for dc, tr := range traits {
+		if tr.GrowthPeakMBh > 0 {
+			cs.Growth[dc] = workload.BusinessDay(tr.GrowthPeakMBh*cfg.Scale,
+				tr.BizStart, tr.BizEnd, tr.GrowthPeakMBh*cfg.Scale*0.05).Shift(cfg.StartHour)
+		}
+	}
+
+	if !cfg.DisableClients {
+		if err := cs.attachWorkloads(); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.DisableBackground {
+		cs.attachDaemons(idxHeadroom)
+	}
+	return cs, nil
+}
+
+// indexCyclesPerByte converts the master's peak owned generation rate plus
+// headroom into the per-byte cycle cost of its index server.
+func (cs *CaseStudy) indexCyclesPerByte(master string, headroom float64) float64 {
+	peakMBh := 0.0
+	for h := 0; h < 24; h++ {
+		t := float64(h)*3600 + 1800
+		rate := 0.0
+		for dc := range cs.Growth {
+			rate += cs.Growth.RateMBh(dc, t) * cs.APM[dc][master]
+		}
+		if rate > peakMBh {
+			peakMBh = rate
+		}
+	}
+	if peakMBh <= 0 {
+		return background.DefaultIndexCyclesPerByte
+	}
+	throughputBps := peakMBh * headroom * 1e6 / 3600
+	return apps.ServerGHz * 1e9 / throughputBps
+}
+
+// caseInfraSpec materializes the per-DC traits into a topology spec with
+// the WAN of Fig. 6-4 (155/45 Mbps links, 20% allocated to this platform).
+func caseInfraSpec(cfg CaseConfig, traits map[string]dcTraits) (topology.InfraSpec, error) {
+	raid := &hardware.RAIDSpec{
+		Disks: 8, Disk: hardware.DiskSpec{CtrlGbps: 4, MBps: 150, HitRate: 0.1},
+		CtrlGbps: 8, HitRate: 0.05,
+	}
+	san := &hardware.SANSpec{
+		Disks: 24, Disk: hardware.DiskSpec{CtrlGbps: 4, MBps: 150, HitRate: 0.1},
+		FCSwitchGbps: 16, CtrlGbps: 16, FCALGbps: 16, HitRate: 0.05,
+	}
+	local := hardware.LinkSpec{Gbps: 10, LatencyMS: 0.45}
+	sanLink := hardware.LinkSpec{Gbps: 10, LatencyMS: 0.5}
+	srv := func(cores int, memGB float64, withRAID bool) topology.ServerSpec {
+		s := topology.ServerSpec{
+			CPU: hardware.CPUSpec{Sockets: 1, Cores: cfg.scaleCores(cores),
+				GHz: apps.ServerGHz},
+			MemGB:        memGB,
+			CacheHitRate: 0.1,
+			NICGbps:      10,
+		}
+		if withRAID {
+			s.RAID = raid
+		}
+		return s
+	}
+	spec := topology.InfraSpec{Clients: map[string]topology.ClientSpec{}}
+	for _, dc := range refdata.ConsolidatedDCs {
+		tr, ok := traits[dc]
+		if !ok {
+			return topology.InfraSpec{}, fmt.Errorf("scenarios: no traits for DC %s", dc)
+		}
+		d := topology.DCSpec{
+			Name: dc, SwitchGbps: 40,
+			ClientLink: hardware.LinkSpec{Gbps: 10, LatencyMS: 0.5},
+			Tiers: []topology.TierSpec{{
+				Name: "fs", Servers: tr.FSServers, Server: srv(tr.FSCores, 32, false),
+				LocalLink: local, SAN: san, SANLink: &sanLink,
+			}},
+		}
+		if tr.Master {
+			d.Tiers = append(d.Tiers,
+				topology.TierSpec{Name: "app", Servers: tr.AppServers,
+					Server: srv(tr.AppCores, 64, true), LocalLink: local},
+				topology.TierSpec{Name: "db", Servers: tr.DBServers,
+					Server: srv(tr.DBCores, 64, false), LocalLink: local, SAN: san, SANLink: &sanLink},
+				topology.TierSpec{Name: "idx", Servers: tr.IdxServers,
+					Server: srv(tr.IdxCores, 64, true), LocalLink: local},
+			)
+		}
+		spec.DCs = append(spec.DCs, d)
+		if tr.ClientSlots > 0 {
+			slots := int(math.Round(float64(tr.ClientSlots) * cfg.Scale))
+			if slots < 8 {
+				slots = 8
+			}
+			spec.Clients[dc] = topology.ClientSpec{
+				Slots: slots, NICGbps: 1, GHz: 2.5, DiskMBs: 120,
+			}
+		}
+	}
+	wan := func(a, b string, mbps, latencyMS float64, backup bool) topology.WANSpec {
+		return topology.WANSpec{From: a, To: b, Backup: backup, Link: hardware.LinkSpec{
+			Gbps: mbps / 1000 * cfg.Scale, LatencyMS: latencyMS, Allocated: 0.2,
+		}}
+	}
+	spec.WAN = []topology.WANSpec{
+		wan("NA", "EU", 155, 45, false),
+		wan("NA", "SA", 45, 60, false),
+		wan("NA", "AS1", 155, 90, false),
+		wan("AS1", "AS2", 45, 30, false),
+		wan("AS1", "AUS", 45, 60, false),
+		wan("AS1", "AFR", 45, 80, false),
+		wan("EU", "AFR", 45, 80, true),  // backup (Fig. 6-4)
+		wan("EU", "AS1", 155, 70, true), // backup
+	}
+	return spec, nil
+}
+
+// attachWorkloads wires the CAD, VIS and PDM Poisson workloads per DC.
+// Operation rates: CAD 4, VIS 6, PDM 10 operations per user-hour.
+func (cs *CaseStudy) attachWorkloads() error {
+	cfg := cs.Cfg
+	naDC := cs.Inf.DC("NA")
+	cadOps, err := apps.CalibratedCADOps(cs.Inf, naDC, naDC, cfg.Step)
+	if err != nil {
+		return err
+	}
+	visOps := apps.VISOps()
+	pdmOps := apps.PDMOps()
+	for _, dc := range cs.Inf.DCNames() {
+		tr := cs.traits[dc]
+		if tr.ClientSlots == 0 {
+			continue
+		}
+		curve := func(peak float64) workload.Curve {
+			return workload.BusinessDay(peak*cfg.Scale, tr.BizStart, tr.BizEnd,
+				peak*cfg.Scale*0.05).Shift(cfg.StartHour)
+		}
+		for _, w := range []struct {
+			app     string
+			peak    float64
+			opsHour float64
+			ops     []cascadeOp
+		}{
+			{"CAD", tr.CADPeak, 3.2, cadOps},
+			{"VIS", tr.VISPeak, 4.8, visOps},
+			{"PDM", tr.PDMPeak, 8.0, pdmOps},
+		} {
+			if w.peak <= 0 {
+				continue
+			}
+			src := &workload.AppWorkload{
+				App: w.app, DC: dc,
+				Users:          curve(w.peak),
+				OpsPerUserHour: w.opsHour,
+				Ops:            w.ops,
+				APM:            cs.APM,
+				Inf:            cs.Inf,
+				GaugePrefix:    w.app + ":" + dc,
+			}
+			cs.Sim.AddSource(src)
+			cs.Sim.Collector.Register(cs.Sim.GaugeProbe(w.app + ":" + dc + ":active"))
+			cs.Sim.Collector.Register(cs.Sim.GaugeProbe(w.app + ":" + dc + ":loggedin"))
+		}
+	}
+	return nil
+}
+
+// attachDaemons wires one SYNCHREP and one INDEXBUILD daemon per master.
+// Index-build capacity is provisioned with the given headroom over the
+// master's peak owned data-generation rate: barely above the peak, so
+// backlog accumulates through the busy hours and drains afterwards — the
+// cumulative effect behind Fig. 6-14's ~63-minute peak.
+func (cs *CaseStudy) attachDaemons(idxHeadroom float64) {
+	for _, master := range cs.Masters {
+		sync := &background.SyncDaemon{
+			Inf:      cs.Inf,
+			Master:   master,
+			APM:      cs.APM,
+			Growth:   cs.Growth,
+			Interval: refdata.SynchRepIntervalMin * 60,
+		}
+		idx := &background.IndexDaemon{
+			Inf:           cs.Inf,
+			Master:        master,
+			APM:           cs.APM,
+			Growth:        cs.Growth,
+			Gap:           refdata.IndexBuildGapMin * 60,
+			CyclesPerByte: cs.indexCyclesPerByte(master, idxHeadroom),
+		}
+		cs.Sync[master] = sync
+		cs.Idx[master] = idx
+		cs.Sim.AddSource(sync)
+		cs.Sim.AddSource(idx)
+	}
+}
+
+// Run advances the simulation through the configured window of the day.
+func (cs *CaseStudy) Run() {
+	hours := float64(cs.Cfg.EndHour - cs.Cfg.StartHour)
+	cs.Sim.RunFor(hours * 3600)
+}
+
+// simWindow translates a GMT hour range into simulation seconds.
+func (cs *CaseStudy) simWindow(gmtFrom, gmtTo float64) (float64, float64) {
+	return (gmtFrom - float64(cs.Cfg.StartHour)) * 3600,
+		(gmtTo - float64(cs.Cfg.StartHour)) * 3600
+}
+
+// LinkUtilPct returns the mean utilization (percent of allocated capacity)
+// of a directed WAN link over a GMT hour window — the Table 6.1 / 7.3
+// measurement.
+func (cs *CaseStudy) LinkUtilPct(from, to string, gmtFrom, gmtTo float64) float64 {
+	t0, t1 := cs.simWindow(gmtFrom, gmtTo)
+	s := cs.Sim.Collector.MustSeries(fmt.Sprintf("link:%s->%s", from, to))
+	return s.Mean(t0, t1) * 100
+}
+
+// PeakCPUPct returns the peak 1-minute CPU utilization of a tier in
+// percent, plus the GMT hour at which it occurred.
+func (cs *CaseStudy) PeakCPUPct(dc, tier string) (pct, gmtHour float64) {
+	s := cs.Sim.Collector.MustSeries(fmt.Sprintf("cpu:%s:%s", dc, tier))
+	t, v, ok := s.Max()
+	if !ok {
+		return 0, 0
+	}
+	return v * 100, t/3600 + float64(cs.Cfg.StartHour)
+}
+
+// CPUSeries exposes a tier utilization series for figure rendering.
+func (cs *CaseStudy) CPUSeries(dc, tier string) *metrics.Series {
+	return cs.Sim.Collector.MustSeries(fmt.Sprintf("cpu:%s:%s", dc, tier))
+}
+
+// cascadeOp aliases the cascade operation type to keep signatures short.
+type cascadeOp = cascade.Op

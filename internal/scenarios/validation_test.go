@@ -1,0 +1,97 @@
+package scenarios
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/refdata"
+)
+
+func TestValidationConfigRejectsBadExperiment(t *testing.T) {
+	if _, err := RunValidation(ValidationConfig{Experiment: 3}); err == nil {
+		t.Error("experiment index 3 accepted")
+	}
+}
+
+// TestValidationExperiment2 runs the middle experiment (the calibration
+// anchor) end to end and compares against Tables 5.2 / 5.3 and Fig. 5-6.
+// The full 38 simulated minutes at a 5 ms step run in a few seconds.
+func TestValidationExperiment2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full validation run skipped in -short")
+	}
+	res, err := RunValidation(ValidationConfig{Experiment: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Table 5.2, experiment 2: steady-state means within 8 points of the
+	// published physical measurements.
+	for _, tier := range refdata.ValidationTiers {
+		want := refdata.Table52Physical[1][tier].Mean
+		got := res.SteadyMean[tier]
+		if math.Abs(got-want) > 8 {
+			t.Errorf("steady CPU %s = %.1f%%, physical %.1f%%", tier, got, want)
+		}
+	}
+
+	// Fig. 5-6: steady concurrent clients near the published ~28.
+	clients := res.Clients.Mean(res.Config.SteadyStart, res.Config.SteadyEnd)
+	if math.Abs(clients-refdata.SteadyStateClients[1]) > 8 {
+		t.Errorf("steady clients = %.1f, want ~%.0f", clients, refdata.SteadyStateClients[1])
+	}
+
+	// Table 5.3: RMSE versus the physical reference in the same band the
+	// thesis reports (5-13%); allow up to 16% here.
+	for tier, rmse := range res.RMSECPU {
+		if rmse > 16 {
+			t.Errorf("RMSE cpu:%s = %.1f%%, thesis band is 5-13%%", tier, rmse)
+		}
+	}
+	if res.RMSEClients > 25 {
+		t.Errorf("RMSE clients = %.1f%%", res.RMSEClients)
+	}
+
+	// Response times: relative RMSE versus Table 5.1 under load stays
+	// moderate (the thesis reports 5-7%).
+	if res.RespRMSEPct > 28 {
+		t.Errorf("response RMSE = %.1f%% vs Table 5.1", res.RespRMSEPct)
+	}
+}
+
+// TestValidationPressureOrdering runs shortened versions of experiments 1
+// and 3 and checks that utilization and concurrency rise with launch
+// pressure, the headline relationship of Figs. 5-6..5-10.
+func TestValidationPressureOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment run skipped in -short")
+	}
+	short := func(exp int) *ValidationResult {
+		res, err := RunValidation(ValidationConfig{
+			Experiment:  exp,
+			Seed:        7,
+			Step:        0.005,
+			LaunchFor:   14 * 60,
+			RunFor:      16 * 60,
+			SteadyStart: 5 * 60,
+			SteadyEnd:   14 * 60,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := short(0)
+	r3 := short(2)
+	for _, tier := range refdata.ValidationTiers {
+		if r3.SteadyMean[tier] <= r1.SteadyMean[tier] {
+			t.Errorf("tier %s: experiment 3 (%.1f%%) not above experiment 1 (%.1f%%)",
+				tier, r3.SteadyMean[tier], r1.SteadyMean[tier])
+		}
+	}
+	c1 := r1.Clients.Mean(300, 840)
+	c3 := r3.Clients.Mean(300, 840)
+	if c3 <= c1 {
+		t.Errorf("clients: experiment 3 (%.1f) not above experiment 1 (%.1f)", c3, c1)
+	}
+}

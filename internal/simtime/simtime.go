@@ -1,0 +1,100 @@
+// Package simtime provides the discrete time base of the simulator.
+//
+// GDISim advances in fixed-size steps (ticks). All simulated durations are
+// expressed in seconds as float64 and converted to whole ticks by the clock.
+// The step size is configurable per scenario: validation runs (Chapter 5)
+// use 10 ms so that operation service times spanning tens of milliseconds
+// resolve cleanly, while day-long case studies (Chapters 6-7) use 100 ms.
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tick is a discrete simulation step index. Tick 0 is the simulation start.
+type Tick int64
+
+// Seconds is a simulated duration or instant expressed in seconds.
+type Seconds = float64
+
+// Clock converts between ticks and simulated seconds and tracks the current
+// simulation instant. The zero Clock is not usable; construct with NewClock.
+type Clock struct {
+	step Seconds // seconds per tick
+	now  Tick
+}
+
+// NewClock returns a clock with the given step size in seconds.
+// Step sizes must be positive; NewClock panics otherwise because a
+// non-positive step renders every conversion meaningless.
+func NewClock(step Seconds) *Clock {
+	if step <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive step %v", step))
+	}
+	return &Clock{step: step}
+}
+
+// Step returns the configured step size in seconds.
+func (c *Clock) Step() Seconds { return c.step }
+
+// Now returns the current tick.
+func (c *Clock) Now() Tick { return c.now }
+
+// NowSeconds returns the current simulated time in seconds.
+func (c *Clock) NowSeconds() Seconds { return Seconds(c.now) * c.step }
+
+// Advance moves the clock forward one tick and returns the new tick.
+func (c *Clock) Advance() Tick {
+	c.now++
+	return c.now
+}
+
+// Reset rewinds the clock to tick zero.
+func (c *Clock) Reset() { c.now = 0 }
+
+// TicksIn returns the number of whole ticks covering d seconds, rounding up
+// so that a strictly positive duration always occupies at least one tick.
+func (c *Clock) TicksIn(d Seconds) Tick {
+	if d <= 0 {
+		return 0
+	}
+	t := Tick(d / c.step)
+	if Seconds(t)*c.step < d {
+		t++
+	}
+	return t
+}
+
+// SecondsAt returns the simulated time in seconds at tick t.
+func (c *Clock) SecondsAt(t Tick) Seconds { return Seconds(t) * c.step }
+
+// TickAt returns the tick containing the simulated instant s (floor). A tiny
+// epsilon absorbs float error so that instants produced by SecondsAt map back
+// to their originating tick.
+func (c *Clock) TickAt(s Seconds) Tick {
+	if s <= 0 {
+		return 0
+	}
+	return Tick(s/c.step + 1e-9)
+}
+
+// HourOfDay returns the hour-of-day (0-23, GMT in the paper's scenarios) of
+// the simulated instant s, for workloads defined as hourly curves.
+func HourOfDay(s Seconds) int {
+	const day = 24 * 3600
+	sec := int64(s) % day
+	if sec < 0 {
+		sec += day
+	}
+	return int(sec / 3600)
+}
+
+// FormatHMS renders a simulated duration as H:MM:SS for reports.
+func FormatHMS(s Seconds) string {
+	d := time.Duration(s * float64(time.Second))
+	h := int(d.Hours())
+	m := int(d.Minutes()) % 60
+	sec := int(d.Seconds()) % 60
+	return fmt.Sprintf("%d:%02d:%02d", h, m, sec)
+}

@@ -1,0 +1,120 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewClockPanicsOnNonPositiveStep(t *testing.T) {
+	for _, step := range []Seconds{0, -0.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewClock(%v) did not panic", step)
+				}
+			}()
+			NewClock(step)
+		}()
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(0.01)
+	if c.Now() != 0 {
+		t.Fatalf("initial tick = %d, want 0", c.Now())
+	}
+	for i := 1; i <= 5; i++ {
+		if got := c.Advance(); got != Tick(i) {
+			t.Fatalf("Advance() = %d, want %d", got, i)
+		}
+	}
+	if got := c.NowSeconds(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("NowSeconds() = %v, want 0.05", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("after Reset Now() = %d, want 0", c.Now())
+	}
+}
+
+func TestTicksInRoundsUp(t *testing.T) {
+	c := NewClock(0.01)
+	cases := []struct {
+		d    Seconds
+		want Tick
+	}{
+		{0, 0},
+		{-1, 0},
+		{0.001, 1},
+		{0.01, 1},
+		{0.011, 2},
+		{1.0, 100},
+	}
+	for _, tc := range cases {
+		if got := c.TicksIn(tc.d); got != tc.want {
+			t.Errorf("TicksIn(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestTickAtFloors(t *testing.T) {
+	c := NewClock(0.5)
+	if got := c.TickAt(1.2); got != 2 {
+		t.Errorf("TickAt(1.2) = %d, want 2", got)
+	}
+	if got := c.TickAt(-3); got != 0 {
+		t.Errorf("TickAt(-3) = %d, want 0", got)
+	}
+}
+
+func TestHourOfDay(t *testing.T) {
+	cases := []struct {
+		s    Seconds
+		want int
+	}{
+		{0, 0},
+		{3599, 0},
+		{3600, 1},
+		{13 * 3600, 13},
+		{24 * 3600, 0},
+		{25 * 3600, 1},
+	}
+	for _, tc := range cases {
+		if got := HourOfDay(tc.s); got != tc.want {
+			t.Errorf("HourOfDay(%v) = %d, want %d", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestFormatHMS(t *testing.T) {
+	if got := FormatHMS(3723); got != "1:02:03" {
+		t.Errorf("FormatHMS(3723) = %q, want 1:02:03", got)
+	}
+}
+
+// Property: TicksIn always covers the duration, with less than one extra step.
+func TestTicksInCoversDuration(t *testing.T) {
+	c := NewClock(0.01)
+	f := func(ms uint16) bool {
+		d := Seconds(ms) / 1000
+		ticks := c.TicksIn(d)
+		covered := c.SecondsAt(ticks)
+		return covered >= d-1e-9 && covered < d+c.Step()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SecondsAt and TickAt are inverse up to flooring.
+func TestTickSecondsRoundTrip(t *testing.T) {
+	c := NewClock(0.1)
+	f := func(n uint32) bool {
+		tk := Tick(n % 1000000)
+		return c.TickAt(c.SecondsAt(tk)) == tk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// RegisterProbes attaches utilization probes for every tier, memory pool,
+// storage array, switch and WAN link to the collector, producing the series
+// behind the thesis' utilization figures and tables:
+//
+//	cpu:<dc>:<tier>   — fraction of tier core capacity busy in the window
+//	mem:<dc>:<tier>   — fraction of tier memory occupied (point sample)
+//	disk:<dc>:<tier>  — fraction of drive capacity busy in the window
+//	link:<from>-><to> — fraction of allocated WAN bandwidth used
+//	clink:<dc>        — client access link utilization
+//	switch:<dc>       — DC switch utilization
+func (inf *Infrastructure) RegisterProbes(col *metrics.Collector) {
+	for _, dcName := range inf.dcOrder {
+		dc := inf.DCs[dcName]
+		for tierName, tier := range dc.Tiers {
+			tier := tier
+			col.Register(metrics.Probe{
+				Key: fmt.Sprintf("cpu:%s:%s", dcName, tierName),
+				Sample: func(window float64) float64 {
+					busy := 0.0
+					for _, s := range tier.Servers {
+						busy += s.CPU.TakeBusy()
+					}
+					return busy / (float64(tier.TotalCores()) * window)
+				},
+			})
+			col.Register(metrics.Probe{
+				Key: fmt.Sprintf("mem:%s:%s", dcName, tierName),
+				Sample: func(float64) float64 {
+					used, capacity := 0.0, 0.0
+					for _, s := range tier.Servers {
+						used += s.Mem.Used()
+						capacity += s.Mem.Capacity()
+					}
+					return used / capacity
+				},
+			})
+			col.Register(metrics.Probe{
+				Key:    fmt.Sprintf("disk:%s:%s", dcName, tierName),
+				Sample: tier.diskUtilSampler(),
+			})
+		}
+		sw := dc.Switch
+		col.Register(metrics.Probe{
+			Key:    "switch:" + dcName,
+			Sample: func(window float64) float64 { return sw.TakeBusy() / window },
+		})
+		cl := dc.ClientLink
+		col.Register(metrics.Probe{
+			Key:    "clink:" + dcName,
+			Sample: func(window float64) float64 { return cl.TakeBusy() / (cl.Rate() * window) },
+		})
+	}
+	for k, l := range inf.links {
+		l := l
+		col.Register(metrics.Probe{
+			Key:    fmt.Sprintf("link:%s->%s", k.from, k.to),
+			Sample: func(window float64) float64 { return l.TakeBusy() / (l.Rate() * window) },
+		})
+	}
+	for k, l := range inf.backups {
+		l := l
+		col.Register(metrics.Probe{
+			Key:    fmt.Sprintf("link:%s->%s", k.from, k.to),
+			Sample: func(window float64) float64 { return l.TakeBusy() / (l.Rate() * window) },
+		})
+	}
+}
+
+// diskUtilSampler returns a sampler for the tier's storage: drive busy time
+// over aggregate drive capacity, across server RAIDs or the tier SAN.
+func (t *Tier) diskUtilSampler() func(window float64) float64 {
+	return func(window float64) float64 {
+		busy, drives := 0.0, 0
+		for _, s := range t.Servers {
+			if s.RAID != nil {
+				busy += s.RAID.TakeBusy()
+				drives += s.RAID.Disks()
+			}
+		}
+		if t.SAN != nil {
+			busy += t.SAN.TakeBusy()
+			drives += t.SAN.Disks()
+		}
+		if drives == 0 {
+			return 0
+		}
+		return busy / (float64(drives) * window)
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// AppWorkload drives one software application at one data center with an
+// open Poisson arrival process: the launch rate at time t is
+//
+//	Users.At(t) x OpsPerUserHour / 3600
+//
+// and each launch draws an operation from the mix. The master data center
+// for each operation — the owner of the manipulated file — is sampled from
+// the Access Pattern Matrix, which reduces to "always the MDC" in the
+// consolidated platform of Chapter 6.
+type AppWorkload struct {
+	App            string
+	DC             string
+	Users          Curve
+	OpsPerUserHour float64
+	Ops            []cascade.Op
+	Weights        []float64 // nil selects a uniform mix
+	APM            AccessMatrix
+	Inf            *topology.Infrastructure
+	// GaugePrefix, when set, maintains gauges "<prefix>:active" (operations
+	// in flight) and "<prefix>:loggedin" (population curve sample).
+	GaugePrefix string
+
+	cum []float64
+	rng *rand.Rand
+}
+
+// init prepares the cumulative mix distribution.
+func (w *AppWorkload) initialize(s *core.Simulation) {
+	if len(w.Ops) == 0 {
+		panic(fmt.Sprintf("workload: app %s at %s has no operations", w.App, w.DC))
+	}
+	if w.Weights != nil && len(w.Weights) != len(w.Ops) {
+		panic(fmt.Sprintf("workload: app %s has %d weights for %d ops", w.App, len(w.Weights), len(w.Ops)))
+	}
+	if err := w.APM.Validate(); err != nil {
+		panic(err)
+	}
+	w.cum = make([]float64, len(w.Ops))
+	total := 0.0
+	for i := range w.Ops {
+		wgt := 1.0
+		if w.Weights != nil {
+			wgt = w.Weights[i]
+		}
+		total += wgt
+		w.cum[i] = total
+	}
+	for i := range w.cum {
+		w.cum[i] /= total
+	}
+	// Derive an independent deterministic stream from the simulation RNG so
+	// multiple workloads stay decoupled.
+	w.rng = rand.New(rand.NewPCG(s.RNG().Uint64(), s.RNG().Uint64()))
+}
+
+// Poll launches a Poisson number of operations for this tick.
+func (w *AppWorkload) Poll(s *core.Simulation, now float64) {
+	if w.rng == nil {
+		w.initialize(s)
+	}
+	users := w.Users.At(now)
+	if w.GaugePrefix != "" {
+		key := w.GaugePrefix + ":loggedin"
+		s.AddGauge(key, users-s.GaugeValue(key))
+	}
+	lambda := users * w.OpsPerUserHour / 3600 * s.Clock().Step()
+	if lambda <= 0 {
+		return
+	}
+	n := poisson(w.rng, lambda)
+	for i := 0; i < n; i++ {
+		w.launch(s)
+	}
+}
+
+func (w *AppWorkload) launch(s *core.Simulation) {
+	op := w.Ops[w.pickOp()]
+	local := w.Inf.DC(w.DC)
+	master := w.Inf.DC(w.APM.Owner(w.DC, w.rng))
+	b := cascade.NewBinding(w.Inf, local, master)
+	run, err := cascade.Instantiate(op, b)
+	if err != nil {
+		panic(err)
+	}
+	run.Name = w.App + " " + op.Name
+	if w.GaugePrefix != "" {
+		run.GaugeKey = w.GaugePrefix + ":active"
+	}
+	s.StartOp(run)
+}
+
+func (w *AppWorkload) pickOp() int {
+	u := w.rng.Float64()
+	for i, c := range w.cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(w.cum) - 1
+}
+
+// poisson draws from Poisson(mean) — Knuth's method for the small means a
+// tick produces, with a normal approximation above 30 to bound the loop.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean > 30 {
+		n := int(mean + math.Sqrt(mean)*rng.NormFloat64() + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+var _ core.Source = (*AppWorkload)(nil)

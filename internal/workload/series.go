@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cascade"
+	"repro/internal/core"
+)
+
+// Series is a sequential concatenation of operations preserving order
+// (§5.2.2) — the validation experiments launch Light, Average and Heavy
+// series at fixed intervals.
+type Series struct {
+	Name string
+	Ops  []cascade.Op
+}
+
+// Duration sums the per-operation targets; exposed for experiment sizing.
+func (s Series) Duration(estimate func(cascade.Op) float64) float64 {
+	total := 0.0
+	for _, op := range s.Ops {
+		total += estimate(op)
+	}
+	return total
+}
+
+// SeriesLauncher starts one series every Interval seconds, from FirstAt
+// until Until (exclusive; 0 means forever). Each series gets a fresh
+// binding (client slot and server choices), runs its operations
+// back-to-back and maintains GaugeKey as the number of series in flight —
+// the "concurrent clients" metric of Fig. 5-6.
+type SeriesLauncher struct {
+	Series   Series
+	Interval float64
+	FirstAt  float64
+	Until    float64
+	GaugeKey string
+	// NewBinding supplies the per-series binding (client slot, DCs).
+	NewBinding func() *cascade.Binding
+	// OnSeriesDone, when non-nil, is invoked when a whole series ends.
+	OnSeriesDone func(now float64)
+
+	next        float64
+	initialized bool
+}
+
+// Poll launches due series. It implements core.Source.
+func (l *SeriesLauncher) Poll(s *core.Simulation, now float64) {
+	if !l.initialized {
+		if l.Interval <= 0 {
+			panic(fmt.Sprintf("workload: series %s needs a positive interval", l.Series.Name))
+		}
+		if len(l.Series.Ops) == 0 {
+			panic(fmt.Sprintf("workload: series %s has no operations", l.Series.Name))
+		}
+		l.next = l.FirstAt
+		l.initialized = true
+	}
+	for now >= l.next && (l.Until <= 0 || l.next < l.Until) {
+		l.launch(s)
+		l.next += l.Interval
+	}
+}
+
+func (l *SeriesLauncher) launch(s *core.Simulation) {
+	b := l.NewBinding()
+	if l.GaugeKey != "" {
+		s.AddGauge(l.GaugeKey, 1)
+	}
+	l.startOp(s, b, 0)
+}
+
+// startOp chains the series' operations: completion of op i starts op i+1.
+func (l *SeriesLauncher) startOp(s *core.Simulation, b *cascade.Binding, i int) {
+	run, err := cascade.Instantiate(l.Series.Ops[i], b)
+	if err != nil {
+		panic(fmt.Sprintf("workload: series %s op %d: %v", l.Series.Name, i, err))
+	}
+	run.OnComplete = func(now, dur float64) {
+		if i+1 < len(l.Series.Ops) {
+			l.startOp(s, b, i+1)
+			return
+		}
+		if l.GaugeKey != "" {
+			s.AddGauge(l.GaugeKey, -1)
+		}
+		if l.OnSeriesDone != nil {
+			l.OnSeriesDone(now)
+		}
+	}
+	s.StartOp(run)
+}
+
+var _ core.Source = (*SeriesLauncher)(nil)

@@ -1,0 +1,14 @@
+package workload
+
+// Shift returns the curve re-based so that index 0 corresponds to
+// startHour of the original curve: shifted.At(t) == original.At(t +
+// startHour*3600). Case-study runs covering a window of the day start
+// their simulation clock at the window's first hour and shift all curves
+// accordingly.
+func (c Curve) Shift(startHour int) Curve {
+	var out Curve
+	for h := 0; h < 24; h++ {
+		out[h] = c[((h+startHour)%24+24)%24]
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/topology"
+)
+
+func TestCurveAtInterpolates(t *testing.T) {
+	var c Curve
+	c[0], c[1] = 100, 200
+	if got := c.At(0); got != 100 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := c.At(1800); got != 150 {
+		t.Errorf("At(30min) = %v, want 150", got)
+	}
+	if got := c.At(24*3600 + 1800); got != 150 {
+		t.Errorf("wrap At = %v, want 150", got)
+	}
+}
+
+func TestCurvePeakScaleSum(t *testing.T) {
+	c := BusinessDay(1000, 13, 22, 50)
+	if p := c.Peak(); p != 1000 {
+		t.Errorf("Peak = %v", p)
+	}
+	if p := c.Scale(2).Peak(); p != 2000 {
+		t.Errorf("Scale Peak = %v", p)
+	}
+	d := BusinessDay(500, 8, 17, 0)
+	if got := c.Sum(d).At(14 * 3600); got != 1500 {
+		t.Errorf("Sum overlap = %v, want 1500", got)
+	}
+}
+
+func TestBusinessDayWindow(t *testing.T) {
+	c := BusinessDay(1000, 13, 22, 50)
+	if c.At(15*3600) != 1000 {
+		t.Errorf("inside window = %v", c.At(15*3600))
+	}
+	if got := c.At(4 * 3600); got != 50 {
+		t.Errorf("night floor = %v", got)
+	}
+	// Ramp shoulders sit between floor and peak.
+	if v := c[12]; v <= 50 || v >= 1000 {
+		t.Errorf("ramp-up shoulder = %v", v)
+	}
+}
+
+func TestBusinessDayWrapsMidnight(t *testing.T) {
+	aus := BusinessDay(120, 23, 8, 5)
+	if aus.At(2*3600) != 120 {
+		t.Errorf("AUS 02:00 GMT = %v, want peak", aus.At(2*3600))
+	}
+	if aus.At(15*3600) != 5 {
+		t.Errorf("AUS 15:00 GMT = %v, want floor", aus.At(15*3600))
+	}
+}
+
+func TestAccessMatrixValidate(t *testing.T) {
+	good := SingleMaster([]string{"NA", "EU"}, "NA")
+	if err := good.Validate(); err != nil {
+		t.Errorf("SingleMaster invalid: %v", err)
+	}
+	bad := AccessMatrix{"NA": {"NA": 0.5, "EU": 0.4}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-stochastic row accepted")
+	}
+	neg := AccessMatrix{"NA": {"NA": 1.5, "EU": -0.5}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative entry accepted")
+	}
+}
+
+func TestAccessMatrixOwnerDistribution(t *testing.T) {
+	m := AccessMatrix{"AUS": {"EU": 0.3, "NA": 0.2, "AUS": 0.5}}
+	rng := rand.New(rand.NewPCG(1, 2))
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[m.Owner("AUS", rng)]++
+	}
+	for owner, want := range map[string]float64{"EU": 0.3, "NA": 0.2, "AUS": 0.5} {
+		got := float64(counts[owner]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("owner %s frequency = %v, want ~%v", owner, got, want)
+		}
+	}
+}
+
+func TestAccessMatrixUnknownRowPanics(t *testing.T) {
+	m := SingleMaster([]string{"NA"}, "NA")
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown APM row did not panic")
+		}
+	}()
+	m.Owner("MARS", rand.New(rand.NewPCG(1, 1)))
+}
+
+// Property: Owner always returns a DC present in the row.
+func TestAccessMatrixOwnerMembership(t *testing.T) {
+	m := AccessMatrix{"X": {"A": 0.6, "B": 0.25, "C": 0.15}}
+	rng := rand.New(rand.NewPCG(9, 9))
+	f := func(uint8) bool {
+		o := m.Owner("X", rng)
+		return o == "A" || o == "B" || o == "C"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// miniInfra builds a one-DC infrastructure for launcher tests.
+func miniInfra(t *testing.T, seed uint64) (*core.Simulation, *topology.Infrastructure) {
+	t.Helper()
+	srv := topology.ServerSpec{
+		CPU:     hardware.CPUSpec{Sockets: 1, Cores: 8, GHz: 2.5},
+		MemGB:   32,
+		NICGbps: 10,
+		RAID: &hardware.RAIDSpec{
+			Disks: 4, Disk: hardware.DiskSpec{CtrlGbps: 4, MBps: 150, HitRate: 0},
+			CtrlGbps: 4, HitRate: 0,
+		},
+	}
+	spec := topology.InfraSpec{
+		DCs: []topology.DCSpec{
+			{Name: "NA", SwitchGbps: 20, ClientLink: hardware.LinkSpec{Gbps: 10, LatencyMS: 0.5},
+				Tiers: []topology.TierSpec{
+					{Name: "app", Servers: 2, Server: srv, LocalLink: hardware.LinkSpec{Gbps: 10, LatencyMS: 0.45}},
+				}},
+		},
+		Clients: map[string]topology.ClientSpec{
+			"NA": {Slots: 64, NICGbps: 1, GHz: 2, DiskMBs: 100},
+		},
+	}
+	sim := core.NewSimulation(core.Config{Step: 0.01, Seed: seed, CollectEvery: 100})
+	inf, err := topology.Build(sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, inf
+}
+
+func quickOp(name string, cycles float64) cascade.Op {
+	return cascade.Seq(name,
+		cascade.Msg{From: cascade.End{Role: cascade.Client},
+			To:   cascade.End{Role: cascade.App, Site: cascade.SiteMaster},
+			Cost: cascade.R{CPUCycles: cycles, NetBytes: 1e4}},
+		cascade.Msg{From: cascade.End{Role: cascade.App, Site: cascade.SiteMaster},
+			To:   cascade.End{Role: cascade.Client},
+			Cost: cascade.R{CPUCycles: 1e7, NetBytes: 1e4}},
+	)
+}
+
+func TestSeriesLauncherLaunchesAtInterval(t *testing.T) {
+	sim, inf := miniInfra(t, 3)
+	na := inf.DC("NA")
+	series := Series{Name: "test", Ops: []cascade.Op{
+		quickOp("OP1", 5e8), quickOp("OP2", 5e8),
+	}}
+	var completed int
+	launcher := &SeriesLauncher{
+		Series:   series,
+		Interval: 5,
+		Until:    19, // launches at 0, 5, 10, 15 => 4 series
+		GaugeKey: "clients",
+		NewBinding: func() *cascade.Binding {
+			return cascade.NewBinding(inf, na, na)
+		},
+		OnSeriesDone: func(now float64) { completed++ },
+	}
+	sim.AddSource(launcher)
+	sim.RunFor(15.5) // cover the launch window; series drain afterwards
+	if err := sim.RunUntilIdle(60); err != nil {
+		t.Fatal(err)
+	}
+	if completed != 4 {
+		t.Errorf("series completed = %d, want 4", completed)
+	}
+	if n := sim.Responses.Count("OP1", "NA"); n != 4 {
+		t.Errorf("OP1 completions = %d, want 4", n)
+	}
+	if g := sim.GaugeValue("clients"); g != 0 {
+		t.Errorf("concurrent gauge after drain = %v", g)
+	}
+}
+
+func TestSeriesLauncherSequencesOps(t *testing.T) {
+	sim, inf := miniInfra(t, 4)
+	na := inf.DC("NA")
+	var order []string
+	ops := []cascade.Op{quickOp("A", 2e8), quickOp("B", 2e8), quickOp("C", 2e8)}
+	launcher := &SeriesLauncher{
+		Series:   Series{Name: "seq", Ops: ops},
+		Interval: 1000, Until: 1, // exactly one series
+		NewBinding: func() *cascade.Binding { return cascade.NewBinding(inf, na, na) },
+	}
+	sim.AddSource(launcher)
+	track := core.SourceFunc(func(s *core.Simulation, now float64) {})
+	_ = track
+	sim.AddSource(core.SourceFunc(func(s *core.Simulation, now float64) {}))
+	if err := sim.RunUntilIdle(60); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"A", "B", "C"} {
+		s := sim.Responses.Series(name, "NA")
+		if s == nil || s.Len() != 1 {
+			t.Fatalf("op %s did not complete exactly once", name)
+		}
+		order = append(order, name)
+		_ = order
+	}
+	// Completion times must be strictly increasing A < B < C.
+	ta := sim.Responses.Series("A", "NA").T[0]
+	tb := sim.Responses.Series("B", "NA").T[0]
+	tc := sim.Responses.Series("C", "NA").T[0]
+	if !(ta < tb && tb < tc) {
+		t.Errorf("series order violated: %v %v %v", ta, tb, tc)
+	}
+}
+
+func TestPoissonLauncherRateTracksCurve(t *testing.T) {
+	sim, inf := miniInfra(t, 5)
+	users := Curve{}
+	for h := 0; h < 24; h++ {
+		users[h] = 360 // constant: 360 users x 10 ops/h = 1 op/s
+	}
+	w := &AppWorkload{
+		App: "CAD", DC: "NA",
+		Users:          users,
+		OpsPerUserHour: 10,
+		Ops:            []cascade.Op{quickOp("PING", 1e7)},
+		APM:            SingleMaster([]string{"NA"}, "NA"),
+		Inf:            inf,
+		GaugePrefix:    "cad:NA",
+	}
+	sim.AddSource(w)
+	sim.RunFor(120)
+	n := sim.Responses.Count("CAD PING", "NA")
+	// Expect ~120 completions (1/s); allow generous stochastic slack.
+	if n < 80 || n > 160 {
+		t.Errorf("completions = %d, want ~120", n)
+	}
+	if g := sim.GaugeValue("cad:NA:loggedin"); math.Abs(g-360) > 1 {
+		t.Errorf("loggedin gauge = %v, want 360", g)
+	}
+}
+
+func TestPoissonLauncherMixWeights(t *testing.T) {
+	sim, inf := miniInfra(t, 6)
+	users := Curve{}
+	for h := range users {
+		users[h] = 720
+	}
+	w := &AppWorkload{
+		App: "X", DC: "NA",
+		Users:          users,
+		OpsPerUserHour: 20,
+		Ops:            []cascade.Op{quickOp("COMMON", 1e7), quickOp("RARE", 1e7)},
+		Weights:        []float64{9, 1},
+		APM:            SingleMaster([]string{"NA"}, "NA"),
+		Inf:            inf,
+	}
+	sim.AddSource(w)
+	sim.RunFor(150)
+	common := sim.Responses.Count("X COMMON", "NA")
+	rare := sim.Responses.Count("X RARE", "NA")
+	if common == 0 || rare == 0 {
+		t.Fatalf("mix starved an op: common=%d rare=%d", common, rare)
+	}
+	ratio := float64(common) / float64(rare)
+	if ratio < 5 || ratio > 16 {
+		t.Errorf("mix ratio = %.1f, want ~9", ratio)
+	}
+}
+
+func TestPoissonSamplerMoments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, mean := range []float64{0.1, 1, 5, 40} {
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Errorf("poisson(%v) empirical mean %v", mean, got)
+		}
+	}
+}
