@@ -28,6 +28,7 @@ import (
 // the speedup column is the ratio between the 1-thread and N-thread rows.
 func speedupBench(b *testing.B, mkEngine func(threads int) core.Engine, threads int) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cs, err := scenarios.NewConsolidation(scenarios.CaseConfig{
 			Step: 0.01, Seed: 7, Engine: mkEngine(threads),
@@ -341,6 +342,39 @@ func BenchmarkFig76_Background(b *testing.B) {
 	b.ReportMetric(refdata.MultiMasterMaxUnsearchMin, "paper-R_IB-min")
 }
 
+// activeSetBench runs the consolidation scenario over a 30-second slice of
+// the given GMT hour. Off-peak hours leave almost every hardware agent idle,
+// which is exactly the regime active-set scheduling targets: the sweep only
+// touches agents with in-flight work instead of the full population.
+func activeSetBench(b *testing.B, startHour, endHour int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cs, err := scenarios.NewConsolidation(scenarios.CaseConfig{
+			Step: 0.01, Seed: 7, Scale: 0.25,
+			StartHour: startHour, EndHour: endHour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		cs.Sim.RunFor(30)
+		b.StopTimer()
+		cs.Sim.Shutdown()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkActiveSet contrasts a sparse (off-peak, 03:00 GMT — utilization
+// near the night floor) against a dense (global peak, 13:00 GMT) hour of the
+// consolidation scenario. The sparse case is where active-set scheduling
+// must show its win over the pre-change full-population sweep.
+func BenchmarkActiveSet(b *testing.B) {
+	b.Run("sparse", func(b *testing.B) { activeSetBench(b, 3, 4) })
+	b.Run("dense", func(b *testing.B) { activeSetBench(b, 13, 14) })
+}
+
 // Microbenchmarks of the queueing substrate.
 
 func BenchmarkFCFSQueueStep(b *testing.B) {
@@ -410,7 +444,9 @@ func denseSweep(b *testing.B, eng core.Engine) {
 		a := &busyAgent{state: 0x9e3779b97f4a7c15, spins: 3000}
 		a.InitAgent(sim.NextAgentID(), "busy")
 		sim.AddAgent(a)
+		a.Pin() // dense sweep: every agent does work every tick
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Tick()

@@ -9,8 +9,9 @@
 // (server, tier, data center); software applications are modeled as
 // message cascades whose messages carry hardware-agnostic cost arrays
 // R = (CPU cycles, network bytes, memory bytes, disk bytes). A discrete
-// time loop drives all agents, parallelized with either the classic
-// Scatter-Gather mechanism or the H-Dispatch pull model of Chapter 4.
+// time loop drives the agents with in-flight work (active-set scheduling,
+// see DESIGN.md), parallelized with either the classic Scatter-Gather
+// mechanism or the H-Dispatch pull model of Chapter 4.
 //
 // # Quick start
 //
@@ -49,7 +50,9 @@ type (
 	Simulation = core.Simulation
 	// SimConfig parameterizes a Simulation (step size, seed, engine).
 	SimConfig = core.Config
-	// Engine parallelizes the per-tick agent sweep.
+	// Engine parallelizes the per-tick sweep over the active agents —
+	// those with in-flight work; idle agents are not stepped (see
+	// DESIGN.md, "Active-set sweep scheduling").
 	Engine = core.Engine
 	// SequentialEngine is the deterministic single-threaded reference.
 	SequentialEngine = core.SequentialEngine
@@ -60,6 +63,9 @@ type (
 	// OpRun is a runnable operation instance (advanced users; most callers
 	// go through cascade Instantiate).
 	OpRun = core.OpRun
+	// Gauge is an interned handle to a named simulation gauge (see
+	// Simulation.GaugeHandle); hot paths use it to skip map lookups.
+	Gauge = core.Gauge
 )
 
 // NewSimulation builds a simulation; zero-value config selects a 10 ms

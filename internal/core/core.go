@@ -3,9 +3,13 @@
 // that executes message cascades across hardware agents (§3.5.2), and the
 // centralized discrete time loop with its three control phases (§4.3):
 //
-//  1. Time increment — every agent advances its queues by one step. This
-//     phase is parallelized by a pluggable Engine (sequential here;
-//     Scatter-Gather and H-Dispatch live in internal/dispatch).
+//  1. Time increment — every *active* agent (one with in-flight work or a
+//     pin) advances its queues by one step. Idle agents are skipped: an
+//     agent joins the active set when work is enqueued on it and leaves it
+//     when a post-drain scan finds it idle, so the sweep cost scales with
+//     utilization rather than topology size. The phase is parallelized by
+//     a pluggable Engine (sequential here; Scatter-Gather and H-Dispatch
+//     live in internal/dispatch).
 //  2. Measurement collection — every collect-interval, probes snapshot
 //     integrated busy time into time series.
 //  3. Agent interaction — tasks that completed during the step advance
@@ -30,9 +34,18 @@ type AgentID int32
 // stepped in parallel by the engine; they must only touch their own state
 // during Step and buffer completed tasks until Drain, which the simulation
 // calls sequentially.
+//
+// The simulation only sweeps *active* agents: an agent joins the active set
+// when work is enqueued on it (MarkActive) and leaves it when a post-drain
+// scan finds it Idle. Agents that must be stepped every tick regardless of
+// queued work (synthetic load generators, polling components) opt out of
+// deactivation with Pin.
 type Agent interface {
 	ID() AgentID
 	Name() string
+	// Base exposes the embedded AgentBase for activation bookkeeping. Every
+	// agent obtains this method by embedding AgentBase.
+	Base() *AgentBase
 	// Step advances the agent's internal queues by dt simulated seconds.
 	Step(dt float64)
 	// Drain invokes fn for every task completed since the previous Drain,
@@ -48,12 +61,17 @@ type QueueAgent interface {
 	Enqueue(*queueing.Task)
 }
 
-// AgentBase supplies the bookkeeping shared by all agents: identity and the
-// completion buffer. Embed it and call InitAgent from the constructor.
+// AgentBase supplies the bookkeeping shared by all agents: identity, the
+// completion buffer and active-set membership. Embed it and call InitAgent
+// from the constructor.
 type AgentBase struct {
 	id   AgentID
 	name string
 	done []*queueing.Task
+
+	sim    *Simulation // set by AddAgent; nil until registered
+	active bool        // currently a member of the simulation's active set
+	pinned bool        // never deactivated (swept every tick)
 }
 
 // InitAgent sets the agent identity. It panics when called twice: an agent
@@ -75,6 +93,33 @@ func (b *AgentBase) ID() AgentID { return b.id }
 // Name returns the agent's human-readable name.
 func (b *AgentBase) Name() string { return b.name }
 
+// Base returns the embedded bookkeeping, satisfying the Agent interface.
+func (b *AgentBase) Base() *AgentBase { return b }
+
+// MarkActive joins the simulation's active set, making the agent eligible
+// for the next sweep. It is O(1), idempotent, and must only be called from
+// sequential phases (Enqueue during source polls or interaction callbacks).
+// Every hardware Enqueue calls it; flow routing calls it as well, so custom
+// agents driven through Stage.Queue need no explicit call.
+func (b *AgentBase) MarkActive() {
+	if b.active || b.sim == nil {
+		return
+	}
+	b.active = true
+	b.sim.activate(b.id)
+}
+
+// Pin keeps the agent in the active set permanently: it is swept every tick
+// and never deactivated, restoring the pre-active-set full-sweep behavior
+// for agents whose Step does work without queued tasks.
+func (b *AgentBase) Pin() {
+	b.pinned = true
+	b.MarkActive()
+}
+
+// Pinned reports whether the agent opted out of deactivation.
+func (b *AgentBase) Pinned() bool { return b.pinned }
+
 // BufferDone records a completed task for the next Drain. Hardware agents
 // pass this method as the DoneFunc of their internal queues.
 func (b *AgentBase) BufferDone(t *queueing.Task) { b.done = append(b.done, t) }
@@ -89,31 +134,32 @@ func (b *AgentBase) Drain(fn func(*queueing.Task)) {
 	b.done = b.done[:0]
 }
 
-// Engine parallelizes the per-tick sweep over all agents. Implementations:
-// SequentialEngine (here), ScatterGather and HDispatch (internal/dispatch).
+// Engine parallelizes the per-tick sweep over the active agents.
+// Implementations: SequentialEngine (here), ScatterGather and HDispatch
+// (internal/dispatch).
 type Engine interface {
-	// Bind hands the engine the full agent population. Called once before
-	// the first sweep and again if the population changes.
+	// Bind hands the engine the full agent population so it can size
+	// per-agent resources (ports, partitions). Called once before the first
+	// sweep and again whenever the population changes.
 	Bind(agents []Agent)
-	// Sweep applies fn to every bound agent; fn is safe to run in parallel
-	// for distinct agents.
-	Sweep(fn func(Agent))
+	// Sweep applies fn to every agent in active — the simulation's current
+	// active set, always a subset of the bound population in ascending
+	// AgentID order. fn is safe to run in parallel for distinct agents.
+	Sweep(active []Agent, fn func(Agent))
 	// Shutdown releases engine resources (worker pools).
 	Shutdown()
 }
 
 // SequentialEngine applies the sweep on the calling goroutine. It is the
 // reference implementation that the parallel engines must match exactly.
-type SequentialEngine struct {
-	agents []Agent
-}
+type SequentialEngine struct{}
 
-// Bind stores the agent population.
-func (e *SequentialEngine) Bind(agents []Agent) { e.agents = agents }
+// Bind is a no-op: the sequential engine needs no per-agent resources.
+func (e *SequentialEngine) Bind(agents []Agent) {}
 
-// Sweep applies fn to each agent in order.
-func (e *SequentialEngine) Sweep(fn func(Agent)) {
-	for _, a := range e.agents {
+// Sweep applies fn to each active agent in order.
+func (e *SequentialEngine) Sweep(active []Agent, fn func(Agent)) {
+	for _, a := range active {
 		fn(a)
 	}
 }

@@ -277,6 +277,119 @@ func TestTimestampConsistencyAcrossStages(t *testing.T) {
 	}
 }
 
+func TestActiveSetJoinAndLeave(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	a := newTestQueueAgent(s, "a", 1, 100)
+	idle := newTestQueueAgent(s, "idle", 1, 100)
+	_ = idle
+	if n := s.ActiveAgents(); n != 0 {
+		t.Fatalf("fresh simulation has %d active agents, want 0", n)
+	}
+	launched := false
+	s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+		if !launched {
+			launched = true
+			sim.StartOp(singleStageOp("A", "NA", a, 50)) // 0.5 s of service
+		}
+	}))
+	s.RunFor(0.1)
+	if n := s.ActiveAgents(); n != 1 {
+		t.Errorf("mid-flight active set size = %d, want 1 (only the serving agent)", n)
+	}
+	if err := s.RunUntilIdle(5); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.ActiveAgents(); n != 0 {
+		t.Errorf("post-completion active set size = %d, want 0", n)
+	}
+}
+
+func TestActiveSetDuplicateEnqueueSingleEntry(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	a := newTestQueueAgent(s, "a", 1, 100)
+	launched := false
+	s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+		if !launched {
+			launched = true
+			for i := 0; i < 5; i++ {
+				sim.StartOp(singleStageOp("D", "NA", a, 10))
+			}
+		}
+	}))
+	s.RunFor(0.05)
+	if n := s.ActiveAgents(); n != 1 {
+		t.Errorf("5 enqueues on one agent produced active set size %d, want 1", n)
+	}
+	if err := s.RunUntilIdle(5); err != nil {
+		t.Fatal(err)
+	}
+	if s.CompletedOps() != 5 {
+		t.Errorf("completedOps = %d, want 5", s.CompletedOps())
+	}
+}
+
+// stepCounter counts sweeps; it never holds work, so without a pin it would
+// leave the active set immediately.
+type stepCounter struct {
+	AgentBase
+	steps int
+}
+
+func (a *stepCounter) Step(dt float64) { a.steps++ }
+func (a *stepCounter) Idle() bool      { return true }
+
+func TestPinnedAgentSweptEveryTick(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	pinned := &stepCounter{}
+	pinned.InitAgent(s.NextAgentID(), "pinned")
+	s.AddAgent(pinned)
+	pinned.Pin()
+	loose := &stepCounter{}
+	loose.InitAgent(s.NextAgentID(), "loose")
+	s.AddAgent(loose)
+	s.RunFor(0.1) // 10 ticks
+	if pinned.steps != 10 {
+		t.Errorf("pinned agent stepped %d times, want 10", pinned.steps)
+	}
+	if loose.steps != 0 {
+		t.Errorf("unpinned idle agent stepped %d times, want 0", loose.steps)
+	}
+}
+
+func TestMarkActiveBeforeRegistrationIsSafe(t *testing.T) {
+	var a stepCounter
+	a.MarkActive() // not registered: must be a no-op, not a panic
+	a.Pin()
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	a.InitAgent(s.NextAgentID(), "early")
+	s.AddAgent(&a)
+	s.RunFor(0.02)
+	if a.steps != 2 {
+		t.Errorf("pre-registration Pin: stepped %d times, want 2", a.steps)
+	}
+}
+
+func TestGaugeHandleInterning(t *testing.T) {
+	s := NewSimulation(Config{})
+	g1 := s.GaugeHandle("x")
+	g2 := s.GaugeHandle("x")
+	if g1 != g2 {
+		t.Errorf("interning returned distinct handles %d, %d", g1, g2)
+	}
+	if g := s.GaugeHandle(""); g != 0 {
+		t.Errorf("empty key interned to %d, want 0", g)
+	}
+	s.AddGaugeBy(g1, 2.5)
+	s.AddGauge("x", 1.5)
+	if v := s.GaugeValue("x"); v != 4 {
+		t.Errorf("gauge = %v, want 4 (handle and string APIs share storage)", v)
+	}
+	if v := s.GaugeValueBy(0); v != 0 {
+		t.Errorf("zero handle read %v, want 0", v)
+	}
+	s.AddGaugeBy(0, 99) // no-op, must not panic
+}
+
 func TestRunUntilIdleTimesOut(t *testing.T) {
 	s := NewSimulation(Config{Step: 0.01, Seed: 1})
 	slow := newTestQueueAgent(s, "slow", 1, 1)

@@ -25,8 +25,11 @@ func NewDelayLine(sim *Simulation, name string) *DelayLine {
 	return d
 }
 
-// Enqueue admits a task; it will complete after task.Delay seconds.
+// Enqueue admits a task; it will complete after task.Delay seconds. The
+// line's local clock only advances while it is active, which is safe: the
+// expiry of every held task is relative to that same local clock.
 func (d *DelayLine) Enqueue(t *queueing.Task) {
+	d.MarkActive()
 	d.seq++
 	heap.Push(&d.heap, delayEntry{expiry: d.now + t.Delay, seq: d.seq, task: t})
 }

@@ -47,7 +47,12 @@ type OpRun struct {
 	DC string
 	// GaugeKey, when non-empty, increments the named simulation gauge for
 	// the lifetime of the operation (concurrent-client accounting).
+	// Launchers on the hot path should pre-intern the key and set Gauge
+	// instead; GaugeKey is interned on every StartOp.
 	GaugeKey string
+	// Gauge is the interned form of GaugeKey (see Simulation.GaugeHandle);
+	// zero means none. When both are set, Gauge wins.
+	Gauge Gauge
 	// NumSteps is the number of sequential steps in the cascade.
 	NumSteps int
 	// Expand returns the parallel messages of the given step (0-based).
@@ -84,12 +89,13 @@ func (s *Simulation) startOp(op OpRun) *Flow {
 	if op.NumSteps <= 0 || op.Expand == nil {
 		panic(fmt.Sprintf("core: operation %q needs NumSteps > 0 and an Expand function", op.Name))
 	}
+	if op.Gauge == 0 && op.GaugeKey != "" {
+		op.Gauge = s.GaugeHandle(op.GaugeKey)
+	}
 	s.nextFlowID++
 	f := &Flow{id: s.nextFlowID, op: op, step: -1, start: s.clock.NowSeconds()}
 	s.activeFlows++
-	if op.GaugeKey != "" {
-		s.AddGauge(op.GaugeKey, 1)
-	}
+	s.AddGaugeBy(op.Gauge, 1)
 	s.advanceFlow(f)
 	return f
 }
@@ -134,6 +140,10 @@ func (s *Simulation) startStage(tok *token) {
 			tok.task.Demand = st.Demand
 			tok.task.Delay = st.Delay
 			st.Queue.Enqueue(&tok.task)
+			// Join the active set so the engine sweeps this agent next
+			// tick; hardware agents also self-activate in Enqueue, but
+			// routing through here covers custom agents too.
+			st.Queue.Base().MarkActive()
 			return
 		}
 		// Instantaneous stage: run End and fall through to the next.
@@ -176,9 +186,7 @@ func (s *Simulation) completeFlow(f *Flow) {
 	now := s.clock.NowSeconds()
 	dur := now - f.start
 	s.activeFlows--
-	if f.op.GaugeKey != "" {
-		s.AddGauge(f.op.GaugeKey, -1)
-	}
+	s.AddGaugeBy(f.op.Gauge, -1)
 	if !f.op.Silent {
 		s.Responses.Record(f.op.Name, f.op.DC, now, dur)
 	}

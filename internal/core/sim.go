@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 
 	"repro/internal/metrics"
 	"repro/internal/simtime"
@@ -44,12 +45,22 @@ type Simulation struct {
 	agents  []Agent
 	sources []Source
 
+	// active holds the IDs of agents with in-flight work or a pin, in no
+	// particular order between ticks; Tick sorts it before each sweep so
+	// both the sweep and the drain iterate in global agent-ID order — the
+	// property that keeps every engine deterministic. Membership is
+	// duplicate-free: AgentBase.active gates insertion.
+	active []AgentID
+	sweep  []Agent // scratch: the current tick's sorted active agents
+
 	Collector *metrics.Collector
 	Responses *metrics.Responses
 
 	collectEvery simtime.Tick
 	rng          *rand.Rand
-	gauges       map[string]float64
+
+	gaugeIdx  map[string]Gauge
+	gaugeVals []float64
 
 	nextFlowID   uint64
 	nextTaskID   uint64
@@ -77,7 +88,7 @@ func NewSimulation(cfg Config) *Simulation {
 		Responses:    metrics.NewResponses(),
 		collectEvery: simtime.Tick(cfg.CollectEvery),
 		rng:          rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
-		gauges:       make(map[string]float64),
+		gaugeIdx:     make(map[string]Gauge),
 	}
 }
 
@@ -98,8 +109,20 @@ func (s *Simulation) AddAgent(a Agent) {
 		panic(fmt.Sprintf("core: agent %q registered with ID %d, want %d", a.Name(), got, want))
 	}
 	s.agents = append(s.agents, a)
+	b := a.Base()
+	b.sim = s
+	if b.pinned || !a.Idle() {
+		b.MarkActive() // pinned (or pre-loaded) before registration
+	}
 	s.rebind = true
 }
+
+// activate records an agent ID in the active set. Callers go through
+// AgentBase.MarkActive, which guarantees duplicate-free O(1) insertion.
+func (s *Simulation) activate(id AgentID) { s.active = append(s.active, id) }
+
+// ActiveAgents reports the current size of the active set.
+func (s *Simulation) ActiveAgents() int { return len(s.active) }
 
 // AddSource registers a work source polled every tick.
 func (s *Simulation) AddSource(src Source) { s.sources = append(s.sources, src) }
@@ -114,43 +137,111 @@ func (s *Simulation) ActiveFlows() int { return s.activeFlows }
 // CompletedOps reports the total number of finished operations.
 func (s *Simulation) CompletedOps() uint64 { return s.completedOps }
 
-// AddGauge adjusts a named gauge by delta.
-func (s *Simulation) AddGauge(key string, delta float64) { s.gauges[key] += delta }
+// Gauge is an interned handle to a named simulation gauge: an index into a
+// dense value slice, so per-flow accounting on the hot path avoids the map
+// lookup of the string-keyed API. The zero value is "no gauge".
+type Gauge int
+
+// GaugeHandle interns key and returns its handle. Handles are stable for
+// the simulation's lifetime; interning the same key twice returns the same
+// handle. Hot paths should intern once and use the handle-based methods.
+func (s *Simulation) GaugeHandle(key string) Gauge {
+	if key == "" {
+		return 0
+	}
+	if g, ok := s.gaugeIdx[key]; ok {
+		return g
+	}
+	s.gaugeVals = append(s.gaugeVals, 0)
+	g := Gauge(len(s.gaugeVals)) // 1-based so the zero Gauge means "none"
+	s.gaugeIdx[key] = g
+	return g
+}
+
+// AddGaugeBy adjusts the gauge behind a handle by delta. A zero handle is a
+// no-op, so callers can pass an unset optional gauge unconditionally.
+func (s *Simulation) AddGaugeBy(g Gauge, delta float64) {
+	if g != 0 {
+		s.gaugeVals[g-1] += delta
+	}
+}
+
+// GaugeValueBy reads the gauge behind a handle (0 for the zero handle).
+func (s *Simulation) GaugeValueBy(g Gauge) float64 {
+	if g == 0 {
+		return 0
+	}
+	return s.gaugeVals[g-1]
+}
+
+// AddGauge adjusts a named gauge by delta — the string-keyed wrapper around
+// GaugeHandle/AddGaugeBy for probes and infrequent callers.
+func (s *Simulation) AddGauge(key string, delta float64) { s.AddGaugeBy(s.GaugeHandle(key), delta) }
 
 // GaugeValue reads a named gauge (0 when never set).
-func (s *Simulation) GaugeValue(key string) float64 { return s.gauges[key] }
+func (s *Simulation) GaugeValue(key string) float64 { return s.GaugeValueBy(s.GaugeHandle(key)) }
 
 // GaugeProbe returns a collector probe sampling the named gauge, for
-// concurrent-client series (Fig. 5-6).
+// concurrent-client series (Fig. 5-6). The handle is resolved once.
 func (s *Simulation) GaugeProbe(key string) metrics.Probe {
-	return metrics.Probe{Key: key, Sample: func(float64) float64 { return s.gauges[key] }}
+	g := s.GaugeHandle(key)
+	return metrics.Probe{Key: key, Sample: func(float64) float64 { return s.GaugeValueBy(g) }}
 }
 
 // Tick advances the simulation by exactly one step, executing the three
 // phases described in the package documentation.
 func (s *Simulation) Tick() {
-	if s.rebind {
-		s.engine.Bind(s.agents)
-		s.rebind = false
-	}
 	dt := s.clock.Step()
 	now := s.clock.NowSeconds()
 
-	// Phase 0 (sequential): sources inject new work for this tick.
+	// Phase 0 (sequential): sources inject new work for this tick,
+	// activating the agents they enqueue on.
 	for _, src := range s.sources {
 		src.Poll(s, now)
 	}
 
-	// Phase 1 (parallel): time increment over all agents.
-	s.engine.Sweep(func(a Agent) { a.Step(dt) })
+	// Rebind after the polls: sources may register agents that are
+	// activated into this very tick's sweep, and engines size per-agent
+	// resources (ScatterGather's port table) from the bound population.
+	if s.rebind {
+		s.engine.Bind(s.agents)
+		s.rebind = false
+	}
+
+	// Materialize this tick's active agents in ascending ID order — the
+	// drain order contract that keeps every engine deterministic.
+	slices.Sort(s.active)
+	s.sweep = s.sweep[:0]
+	for _, id := range s.active {
+		s.sweep = append(s.sweep, s.agents[id])
+	}
+
+	// Phase 1 (parallel): time increment over the active agents only.
+	s.engine.Sweep(s.sweep, func(a Agent) { a.Step(dt) })
 
 	tick := s.clock.Advance()
 
 	// Phase 3 (sequential): interaction — completed tasks advance flows.
-	// Agents drain in ID order, which makes every engine deterministic.
-	for _, a := range s.agents {
+	// Downstream agents activated here join s.active beyond this tick's
+	// sweep slice and are first served next tick (§4.3.3 timestamp rule).
+	for _, a := range s.sweep {
 		a.Drain(s.onTaskDone)
 	}
+
+	// Deactivation: drop swept agents that went idle, keeping relative
+	// order, then re-append agents activated during the drain. Writes into
+	// the kept prefix never overtake the reads: kept grows at most as fast
+	// as the loop index.
+	kept := s.active[:0]
+	for i, a := range s.sweep {
+		b := a.Base()
+		if b.pinned || !a.Idle() {
+			kept = append(kept, s.active[i])
+		} else {
+			b.active = false
+		}
+	}
+	s.active = append(kept, s.active[len(s.sweep):]...)
 
 	// Phase 2: measurement collection at snapshot boundaries.
 	if tick%s.collectEvery == 0 {
@@ -180,9 +271,13 @@ func (s *Simulation) RunUntilIdle(maxSeconds float64) error {
 	return fmt.Errorf("core: %d flows still active after %v simulated seconds", s.activeFlows, maxSeconds)
 }
 
+// agentsIdle reports whether no agent holds in-flight work. Deactivation
+// keeps every non-idle agent in the active set, so only that set — after a
+// tick, just the pinned agents plus drain-phase activations — needs
+// checking, replacing the full-population scan.
 func (s *Simulation) agentsIdle() bool {
-	for _, a := range s.agents {
-		if !a.Idle() {
+	for _, id := range s.active {
+		if !s.agents[id].Idle() {
 			return false
 		}
 	}

@@ -45,7 +45,7 @@ func TestNewEnginePanics(t *testing.T) {
 	}
 }
 
-func TestEnginesSweepAllAgents(t *testing.T) {
+func TestEnginesSweepAllActiveAgents(t *testing.T) {
 	engines := map[string]core.Engine{
 		"scatter-gather": NewScatterGather(4),
 		"h-dispatch":     NewHDispatch(4, 8),
@@ -57,12 +57,110 @@ func TestEnginesSweepAllAgents(t *testing.T) {
 			agents := make([]*fakeAgent, 100)
 			for i := range agents {
 				agents[i] = newFakeAgent(s, "a")
+				agents[i].Pin() // keep in the active set without queued work
 			}
 			s.RunFor(0.1) // 10 ticks
 			for i, a := range agents {
 				if got := a.steps.Load(); got != 10 {
 					t.Fatalf("agent %d stepped %d times, want 10", i, got)
 				}
+			}
+		})
+	}
+}
+
+// sinkAgent serves tasks and drops their completions, so tests can enqueue
+// raw tasks without routing them through a flow.
+type sinkAgent struct {
+	core.AgentBase
+	q     *queueing.FCFS
+	steps atomic.Int64
+}
+
+func newSinkAgent(s *core.Simulation, name string) *sinkAgent {
+	a := &sinkAgent{q: queueing.NewFCFS(1, 100)}
+	a.InitAgent(s.NextAgentID(), name)
+	s.AddAgent(a)
+	return a
+}
+
+func (a *sinkAgent) Enqueue(t *queueing.Task) {
+	a.MarkActive()
+	a.q.Enqueue(t)
+}
+func (a *sinkAgent) Step(dt float64) {
+	a.steps.Add(1)
+	a.q.Step(dt, func(*queueing.Task) {})
+}
+func (a *sinkAgent) Idle() bool { return a.q.Idle() }
+
+// TestMidRunAddAgentSweptSameTick guards the rebind ordering: an agent
+// registered by a source and activated in the same tick must be swept that
+// tick — engines size per-agent resources (ScatterGather's port table)
+// from the bound population, so binding must happen after the polls.
+func TestMidRunAddAgentSweptSameTick(t *testing.T) {
+	engines := map[string]func() core.Engine{
+		"sequential":     func() core.Engine { return &core.SequentialEngine{} },
+		"scatter-gather": func() core.Engine { return NewScatterGather(2) },
+		"h-dispatch":     func() core.Engine { return NewHDispatch(2, 4) },
+	}
+	for name, mk := range engines {
+		t.Run(name, func(t *testing.T) {
+			s := core.NewSimulation(core.Config{Step: 0.01, Seed: 1, Engine: mk()})
+			defer s.Shutdown()
+			newSinkAgent(s, "seed")
+			var late *sinkAgent
+			s.AddSource(core.SourceFunc(func(sim *core.Simulation, now float64) {
+				if sim.Clock().Now() == 2 && late == nil {
+					late = newSinkAgent(sim, "late")
+					late.Enqueue(&queueing.Task{ID: 1, Demand: 1})
+				}
+			}))
+			s.RunFor(0.05)
+			if late == nil {
+				t.Fatal("source never ran")
+			}
+			if got := late.steps.Load(); got == 0 {
+				t.Error("agent added and enqueued mid-run was never swept")
+			}
+		})
+	}
+}
+
+// TestEnginesSkipIdleAgents asserts the active-set contract: agents without
+// queued work are not stepped, and agents rejoin the sweep when re-enqueued.
+func TestEnginesSkipIdleAgents(t *testing.T) {
+	engines := map[string]func() core.Engine{
+		"sequential":     func() core.Engine { return &core.SequentialEngine{} },
+		"scatter-gather": func() core.Engine { return NewScatterGather(4) },
+		"h-dispatch":     func() core.Engine { return NewHDispatch(4, 8) },
+	}
+	for name, mk := range engines {
+		t.Run(name, func(t *testing.T) {
+			s := core.NewSimulation(core.Config{Step: 0.01, Seed: 1, Engine: mk()})
+			defer s.Shutdown()
+			busy := newSinkAgent(s, "busy")
+			idle := newSinkAgent(s, "idle")
+			// 100 units at rate 100 = 1 s of service: busy for 100 ticks.
+			busy.Enqueue(&queueing.Task{ID: 1, Demand: 100})
+			s.RunFor(2)
+			if got := idle.steps.Load(); got != 0 {
+				t.Errorf("idle agent stepped %d times, want 0", got)
+			}
+			// The busy agent must leave the active set once drained.
+			stepsWhenDone := busy.steps.Load()
+			if stepsWhenDone >= 200 {
+				t.Errorf("busy agent stepped %d times over 200 ticks, should have deactivated after ~100", stepsWhenDone)
+			}
+			s.RunFor(1)
+			if got := busy.steps.Load(); got != stepsWhenDone {
+				t.Errorf("deactivated agent stepped again: %d -> %d", stepsWhenDone, got)
+			}
+			// Re-enqueueing reactivates.
+			busy.Enqueue(&queueing.Task{ID: 2, Demand: 1})
+			s.RunFor(0.1)
+			if got := busy.steps.Load(); got <= stepsWhenDone {
+				t.Error("re-enqueued agent was not swept again")
 			}
 		})
 	}
@@ -78,14 +176,14 @@ func TestHDispatchEmptyBindSweep(t *testing.T) {
 	e := NewHDispatch(2, 4)
 	defer e.Shutdown()
 	e.Bind(nil)
-	e.Sweep(func(core.Agent) { t.Fatal("sweep over empty population invoked fn") })
+	e.Sweep(nil, func(core.Agent) { t.Fatal("sweep over empty active set invoked fn") })
 }
 
 func TestScatterGatherEmptySweep(t *testing.T) {
 	e := NewScatterGather(2)
 	defer e.Shutdown()
 	e.Bind(nil)
-	e.Sweep(func(core.Agent) { t.Fatal("sweep over empty population invoked fn") })
+	e.Sweep(nil, func(core.Agent) { t.Fatal("sweep over empty active set invoked fn") })
 }
 
 // runWorkload executes an identical randomized workload on a simulation

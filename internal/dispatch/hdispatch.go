@@ -15,12 +15,14 @@ const DefaultAgentSet = 64
 // HDispatch is the pull-based engine of Holmes et al. adapted to GDISim
 // (§4.3.5): worker goroutines equal in number to the configured thread
 // count stay alive for the engine's lifetime and pull agent sets from a
-// global queue until it is empty, then signal completion.
+// global queue until it is empty, then signal completion. Agent sets are
+// re-partitioned from the active slice on every sweep (reusing the backing
+// array), so only agents with in-flight work are ever dispatched.
 type HDispatch struct {
 	threads int
 	setSize int
 
-	sets [][]core.Agent
+	sets [][]core.Agent // per-sweep partition of the active slice
 
 	mu   sync.Mutex // serializes Sweep callers (the time loop is single-threaded)
 	fn   func(core.Agent)
@@ -68,26 +70,26 @@ func (e *HDispatch) worker() {
 	}
 }
 
-// Bind partitions the agent population into agent sets.
-func (e *HDispatch) Bind(agents []core.Agent) {
-	e.sets = e.sets[:0]
-	for start := 0; start < len(agents); start += e.setSize {
-		end := start + e.setSize
-		if end > len(agents) {
-			end = len(agents)
-		}
-		e.sets = append(e.sets, agents[start:end])
-	}
-}
+// Bind is a no-op: agent sets are cut from the active slice per sweep, so
+// the engine holds no per-population state.
+func (e *HDispatch) Bind(agents []core.Agent) {}
 
-// Sweep pushes every agent set into the global H-Dispatch queue and blocks
-// until the workers have drained it.
-func (e *HDispatch) Sweep(fn func(core.Agent)) {
-	if len(e.sets) == 0 {
+// Sweep partitions the active slice into agent sets, pushes them into the
+// global H-Dispatch queue and blocks until the workers have drained it.
+func (e *HDispatch) Sweep(active []core.Agent, fn func(core.Agent)) {
+	if len(active) == 0 {
 		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.sets = e.sets[:0]
+	for start := 0; start < len(active); start += e.setSize {
+		end := start + e.setSize
+		if end > len(active) {
+			end = len(active)
+		}
+		e.sets = append(e.sets, active[start:end])
+	}
 	e.fn = fn
 	e.wg.Add(len(e.sets))
 	for i := range e.sets {

@@ -25,6 +25,7 @@ func newBusyAgent(s *core.Simulation, spins int) *busyAgent {
 	a := &busyAgent{state: 0x9e3779b97f4a7c15, spins: spins}
 	a.InitAgent(s.NextAgentID(), "busy")
 	s.AddAgent(a)
+	a.Pin() // dense-sweep agents do work every tick without queued tasks
 	return a
 }
 

@@ -29,13 +29,16 @@ type sweepMsg struct {
 	ack *ports.Port[core.AgentID]
 }
 
-// ScatterGather is the classic scatter-gather engine: one port and one
-// active message per agent per sweep.
+// ScatterGather is the classic scatter-gather engine: one port per bound
+// agent, one active message per *active* agent per sweep. Ports are built
+// once per Bind and indexed by AgentID; each sweep only posts to the ports
+// of the agents in the active slice, and the single reusable gatherer is
+// re-armed for that count instead of being reallocated every tick.
 type ScatterGather struct {
 	threads    int
 	disp       *ports.Dispatcher
-	agents     []core.Agent
-	agentPorts []*ports.Port[sweepMsg]
+	agentPorts []*ports.Port[sweepMsg] // indexed by AgentID
+	gather     *ports.Gather[core.AgentID]
 }
 
 // NewScatterGather creates the engine with the given dispatcher thread-pool
@@ -53,7 +56,6 @@ func (e *ScatterGather) Bind(agents []core.Agent) {
 	if e.disp == nil {
 		e.disp = ports.NewDispatcher(e.threads, 4096)
 	}
-	e.agents = agents
 	e.agentPorts = make([]*ports.Port[sweepMsg], len(agents))
 	for i, a := range agents {
 		a := a
@@ -66,18 +68,22 @@ func (e *ScatterGather) Bind(agents []core.Agent) {
 	}
 }
 
-// Sweep scatters one message per agent and blocks until all agents have
-// acknowledged (the gather step).
-func (e *ScatterGather) Sweep(fn func(core.Agent)) {
-	if len(e.agentPorts) == 0 {
+// Sweep scatters one message per active agent and blocks until all of them
+// have acknowledged (the gather step).
+func (e *ScatterGather) Sweep(active []core.Agent, fn func(core.Agent)) {
+	if len(active) == 0 {
 		return
 	}
-	g := ports.NewGather[core.AgentID](e.disp, len(e.agentPorts))
-	m := sweepMsg{fn: fn, ack: g.Port()}
-	for _, p := range e.agentPorts {
-		p.Post(m)
+	if e.gather == nil {
+		e.gather = ports.NewGather[core.AgentID](e.disp, len(active))
+	} else {
+		e.gather.Reset(len(active))
 	}
-	g.Wait()
+	m := sweepMsg{fn: fn, ack: e.gather.Port()}
+	for _, a := range active {
+		e.agentPorts[a.ID()].Post(m)
+	}
+	e.gather.Wait()
 }
 
 // Shutdown stops the dispatcher thread pool.

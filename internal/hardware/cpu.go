@@ -74,6 +74,7 @@ func (c *CPU) Spec() CPUSpec { return c.spec }
 
 // Enqueue assigns the task to the next socket round-robin.
 func (c *CPU) Enqueue(t *queueing.Task) {
+	c.MarkActive()
 	c.sockets[c.rr].Enqueue(t)
 	c.rr = (c.rr + 1) % len(c.sockets)
 }

@@ -31,7 +31,10 @@ func NewNIC(sim *core.Simulation, name string, gbps float64) *NIC {
 func (n *NIC) Rate() float64 { return n.rate }
 
 // Enqueue adds a transfer task (Demand in bytes).
-func (n *NIC) Enqueue(t *queueing.Task) { n.q.Enqueue(t) }
+func (n *NIC) Enqueue(t *queueing.Task) {
+	n.MarkActive()
+	n.q.Enqueue(t)
+}
 
 // Step advances the queue.
 func (n *NIC) Step(dt float64) { n.q.Step(dt, n.BufferDone) }
@@ -66,7 +69,10 @@ func NewSwitch(sim *core.Simulation, name string, gbps float64) *Switch {
 func (s *Switch) Rate() float64 { return s.rate }
 
 // Enqueue adds a forwarding task (Demand in bytes).
-func (s *Switch) Enqueue(t *queueing.Task) { s.q.Enqueue(t) }
+func (s *Switch) Enqueue(t *queueing.Task) {
+	s.MarkActive()
+	s.q.Enqueue(t)
+}
 
 // Step advances the queue.
 func (s *Switch) Step(dt float64) { s.q.Step(dt, s.BufferDone) }
@@ -136,6 +142,7 @@ func (l *Link) Enqueue(t *queueing.Task) {
 	if l.failed {
 		panic(fmt.Sprintf("hardware: enqueue on failed link %s", l.Name()))
 	}
+	l.MarkActive()
 	l.q.Enqueue(t)
 }
 

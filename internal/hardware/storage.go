@@ -190,6 +190,7 @@ func (r *RAID) Spec() RAIDSpec { return r.spec }
 // Enqueue admits a storage request (Demand in bytes) at the array
 // controller cache.
 func (r *RAID) Enqueue(t *queueing.Task) {
+	r.MarkActive()
 	r.inflight++
 	ext := &extReq{parent: t, demand: t.Demand}
 	r.dacc.Enqueue(&queueing.Task{ID: t.ID, Demand: t.Demand, Payload: ext})
@@ -293,6 +294,7 @@ func (s *SAN) Spec() SANSpec { return s.spec }
 
 // Enqueue admits a storage request (Demand in bytes) at the FC switch.
 func (s *SAN) Enqueue(t *queueing.Task) {
+	s.MarkActive()
 	s.inflight++
 	ext := &extReq{parent: t, demand: t.Demand}
 	s.fcsw.Enqueue(&queueing.Task{ID: t.ID, Demand: t.Demand, Payload: ext})

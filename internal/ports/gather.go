@@ -1,26 +1,64 @@
 package ports
 
+import "sync"
+
 // Gather collects a fixed number of acknowledgement messages and lets the
 // master thread block until all of them have arrived — the Gather half of
 // the Scatter-Gather mechanism (Fig. 4-2). Scattering is plain: the master
 // posts one message per agent port, embedding g.Port() in the payload so
 // handlers know where to acknowledge.
+//
+// A Gather is reusable: after Wait returns, Reset re-arms it for the next
+// round on the same port, so a per-tick sweep allocates nothing. The
+// Reset/Wait cycle must be driven by a single master goroutine.
 type Gather[A any] struct {
 	port *Port[A]
-	done chan []A
+	done chan struct{}
+
+	mu   sync.Mutex
+	want int
+	acks []A
 }
 
 // NewGather returns a gatherer expecting n acknowledgements on its port.
 func NewGather[A any](d *Dispatcher, n int) *Gather[A] {
-	g := &Gather[A]{port: NewPort[A](d), done: make(chan []A, 1)}
-	MultipleItemReceive(g.port, (*Port[error])(nil), n, func(acks []A, _ []error) {
-		g.done <- acks
-	})
+	if n <= 0 {
+		panic("ports: NewGather needs n > 0")
+	}
+	g := &Gather[A]{port: NewPort[A](d), done: make(chan struct{}, 1), want: n}
+	Receive(g.port, true, g.collect)
 	return g
+}
+
+func (g *Gather[A]) collect(a A) {
+	g.mu.Lock()
+	g.acks = append(g.acks, a)
+	full := len(g.acks) == g.want
+	g.mu.Unlock()
+	if full {
+		g.done <- struct{}{}
+	}
+}
+
+// Reset re-arms the gatherer for a round of n acknowledgements. It must
+// only be called after the previous round's Wait returned (or before any
+// message was scattered).
+func (g *Gather[A]) Reset(n int) {
+	if n <= 0 {
+		panic("ports: Gather.Reset needs n > 0")
+	}
+	g.mu.Lock()
+	g.want = n
+	g.acks = g.acks[:0]
+	g.mu.Unlock()
 }
 
 // Port returns the acknowledgement port to embed in scattered messages.
 func (g *Gather[A]) Port() *Port[A] { return g.port }
 
-// Wait blocks until all acknowledgements arrived and returns them.
-func (g *Gather[A]) Wait() []A { return <-g.done }
+// Wait blocks until all acknowledgements arrived and returns them. The
+// returned slice is only valid until the next Reset.
+func (g *Gather[A]) Wait() []A {
+	<-g.done
+	return g.acks
+}

@@ -232,3 +232,35 @@ func TestGatherScatterRound(t *testing.T) {
 		}
 	}
 }
+
+// TestGatherReuseWithReset drives one gatherer through many rounds of
+// varying width — the allocation-free per-tick pattern of the
+// Scatter-Gather engine's sweep.
+func TestGatherReuseWithReset(t *testing.T) {
+	d := NewDispatcher(4, 256)
+	defer d.Shutdown()
+	type tick struct {
+		ack *Port[int]
+	}
+	const agents = 40
+	agentPorts := make([]*Port[tick], agents)
+	for i := range agentPorts {
+		i := i
+		agentPorts[i] = NewPort[tick](d)
+		Receive(agentPorts[i], true, func(m tick) { m.ack.Post(i) })
+	}
+	g := NewGather[int](d, agents)
+	for round := 0; round < 5; round++ {
+		n := agents - round*7 // shrinking active subsets
+		if round > 0 {
+			g.Reset(n)
+		}
+		for _, p := range agentPorts[:n] {
+			p.Post(tick{ack: g.Port()})
+		}
+		acks := g.Wait()
+		if len(acks) != n {
+			t.Fatalf("round %d gathered %d acks, want %d", round, len(acks), n)
+		}
+	}
+}

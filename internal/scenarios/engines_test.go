@@ -1,0 +1,94 @@
+package scenarios
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/metrics"
+)
+
+// runValidationWith runs a shortened validation experiment under one
+// engine. Short enough for a table of engines, long enough that hundreds
+// of flows overlap and exercise the active-set machinery.
+func runValidationWith(t *testing.T, eng core.Engine) *ValidationResult {
+	t.Helper()
+	res, err := RunValidation(ValidationConfig{
+		Experiment: 1, Seed: 42, Engine: eng,
+		LaunchFor: 120, RunFor: 150, SteadyStart: 30, SteadyEnd: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sameSeries asserts two series are bit-for-bit identical.
+func sameSeries(t *testing.T, label string, ref, got *metrics.Series) {
+	t.Helper()
+	if (ref == nil) != (got == nil) {
+		t.Fatalf("%s: one engine recorded the series, the other did not", label)
+	}
+	if ref == nil {
+		return
+	}
+	if ref.Len() != got.Len() {
+		t.Fatalf("%s: %d samples vs %d", label, ref.Len(), got.Len())
+	}
+	for i := range ref.V {
+		if ref.T[i] != got.T[i] || ref.V[i] != got.V[i] {
+			t.Fatalf("%s: sample %d differs: (%v,%v) vs (%v,%v)",
+				label, i, ref.T[i], ref.V[i], got.T[i], got.V[i])
+		}
+	}
+}
+
+// TestEngineEquivalenceOnValidation is the safety net for the active-set
+// refactor: the full validation scenario must produce identical completed
+// operation counts, response-time records and collector series under the
+// sequential reference engine and both parallel engines at several thread
+// counts. Sweep parallelism and active-set scheduling are performance
+// concerns only — any divergence here is a determinism bug.
+func TestEngineEquivalenceOnValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine equivalence matrix skipped in -short")
+	}
+	ref := runValidationWith(t, &core.SequentialEngine{})
+
+	cases := []struct {
+		name string
+		mk   func() core.Engine
+	}{
+		{"scatter-gather-2", func() core.Engine { return dispatch.NewScatterGather(2) }},
+		{"scatter-gather-8", func() core.Engine { return dispatch.NewScatterGather(8) }},
+		{"h-dispatch-1x16", func() core.Engine { return dispatch.NewHDispatch(1, 16) }},
+		{"h-dispatch-4x64", func() core.Engine { return dispatch.NewHDispatch(4, 64) }},
+		{"h-dispatch-8x64", func() core.Engine { return dispatch.NewHDispatch(8, 64) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := runValidationWith(t, tc.mk())
+			if ref.CompletedOps != got.CompletedOps {
+				t.Errorf("completed ops: %d vs %d", ref.CompletedOps, got.CompletedOps)
+			}
+			// Response-time records: same (op, dc) populations, same values.
+			refKeys, gotKeys := ref.Responses.Keys(), got.Responses.Keys()
+			if len(refKeys) != len(gotKeys) {
+				t.Fatalf("response keys: %d vs %d", len(refKeys), len(gotKeys))
+			}
+			for i, k := range refKeys {
+				if gotKeys[i] != k {
+					t.Fatalf("response key %d: %v vs %v", i, k, gotKeys[i])
+				}
+				sameSeries(t, fmt.Sprintf("responses %s@%s", k.Op, k.DC),
+					ref.Responses.Series(k.Op, k.DC), got.Responses.Series(k.Op, k.DC))
+			}
+			// Collector series: concurrent clients and per-tier CPU.
+			sameSeries(t, "clients", ref.Clients, got.Clients)
+			for tier, s := range ref.CPU {
+				sameSeries(t, "cpu:"+tier, s, got.CPU[tier])
+			}
+		})
+	}
+}

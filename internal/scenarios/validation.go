@@ -123,6 +123,10 @@ type ValidationResult struct {
 	// versus Table 5.1 across all operations and series, in percent.
 	RespRMSEPct float64
 
+	// CompletedOps is the total number of finished operations — part of
+	// the engine determinism contract checked by the equivalence tests.
+	CompletedOps uint64
+
 	Responses *metrics.Responses
 }
 
@@ -167,14 +171,15 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	sim.RunFor(cfg.RunFor)
 
 	res := &ValidationResult{
-		Experiment: cfg.Experiment,
-		Config:     cfg,
-		Clients:    sim.Collector.MustSeries("clients"),
-		CPU:        map[string]*metrics.Series{},
-		SteadyMean: map[string]float64{},
-		SteadyStd:  map[string]float64{},
-		RMSECPU:    map[string]float64{},
-		Responses:  sim.Responses,
+		Experiment:   cfg.Experiment,
+		Config:       cfg,
+		Clients:      sim.Collector.MustSeries("clients"),
+		CPU:          map[string]*metrics.Series{},
+		SteadyMean:   map[string]float64{},
+		SteadyStd:    map[string]float64{},
+		RMSECPU:      map[string]float64{},
+		CompletedOps: sim.CompletedOps(),
+		Responses:    sim.Responses,
 	}
 	for _, tier := range refdata.ValidationTiers {
 		res.CPU[tier] = sim.Collector.MustSeries("cpu:NA:" + tier)

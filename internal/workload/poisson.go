@@ -32,8 +32,10 @@ type AppWorkload struct {
 	// in flight) and "<prefix>:loggedin" (population curve sample).
 	GaugePrefix string
 
-	cum []float64
-	rng *rand.Rand
+	cum      []float64
+	rng      *rand.Rand
+	active   core.Gauge // interned "<prefix>:active"
+	loggedin core.Gauge // interned "<prefix>:loggedin"
 }
 
 // init prepares the cumulative mix distribution.
@@ -63,6 +65,10 @@ func (w *AppWorkload) initialize(s *core.Simulation) {
 	// Derive an independent deterministic stream from the simulation RNG so
 	// multiple workloads stay decoupled.
 	w.rng = rand.New(rand.NewPCG(s.RNG().Uint64(), s.RNG().Uint64()))
+	if w.GaugePrefix != "" {
+		w.active = s.GaugeHandle(w.GaugePrefix + ":active")
+		w.loggedin = s.GaugeHandle(w.GaugePrefix + ":loggedin")
+	}
 }
 
 // Poll launches a Poisson number of operations for this tick.
@@ -71,10 +77,7 @@ func (w *AppWorkload) Poll(s *core.Simulation, now float64) {
 		w.initialize(s)
 	}
 	users := w.Users.At(now)
-	if w.GaugePrefix != "" {
-		key := w.GaugePrefix + ":loggedin"
-		s.AddGauge(key, users-s.GaugeValue(key))
-	}
+	s.AddGaugeBy(w.loggedin, users-s.GaugeValueBy(w.loggedin))
 	lambda := users * w.OpsPerUserHour / 3600 * s.Clock().Step()
 	if lambda <= 0 {
 		return
@@ -95,9 +98,7 @@ func (w *AppWorkload) launch(s *core.Simulation) {
 		panic(err)
 	}
 	run.Name = w.App + " " + op.Name
-	if w.GaugePrefix != "" {
-		run.GaugeKey = w.GaugePrefix + ":active"
-	}
+	run.Gauge = w.active
 	s.StartOp(run)
 }
 

@@ -41,6 +41,7 @@ type SeriesLauncher struct {
 	OnSeriesDone func(now float64)
 
 	next        float64
+	gauge       core.Gauge
 	initialized bool
 }
 
@@ -54,6 +55,7 @@ func (l *SeriesLauncher) Poll(s *core.Simulation, now float64) {
 			panic(fmt.Sprintf("workload: series %s has no operations", l.Series.Name))
 		}
 		l.next = l.FirstAt
+		l.gauge = s.GaugeHandle(l.GaugeKey)
 		l.initialized = true
 	}
 	for now >= l.next && (l.Until <= 0 || l.next < l.Until) {
@@ -64,9 +66,7 @@ func (l *SeriesLauncher) Poll(s *core.Simulation, now float64) {
 
 func (l *SeriesLauncher) launch(s *core.Simulation) {
 	b := l.NewBinding()
-	if l.GaugeKey != "" {
-		s.AddGauge(l.GaugeKey, 1)
-	}
+	s.AddGaugeBy(l.gauge, 1)
 	l.startOp(s, b, 0)
 }
 
@@ -81,9 +81,7 @@ func (l *SeriesLauncher) startOp(s *core.Simulation, b *cascade.Binding, i int) 
 			l.startOp(s, b, i+1)
 			return
 		}
-		if l.GaugeKey != "" {
-			s.AddGauge(l.GaugeKey, -1)
-		}
+		s.AddGaugeBy(l.gauge, -1)
 		if l.OnSeriesDone != nil {
 			l.OnSeriesDone(now)
 		}
