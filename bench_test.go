@@ -375,6 +375,41 @@ func BenchmarkActiveSet(b *testing.B) {
 	b.Run("dense", func(b *testing.B) { activeSetBench(b, 13, 14) })
 }
 
+// BenchmarkIdlePlatform runs an overnight, daemon-only hour of the
+// consolidation scenario — the regime the event-horizon fast-forward
+// targets: the platform sits idle between SYNCHREP/INDEXBUILD cycles, so
+// the plain loop burns iterations on empty ticks while fast-forward jumps
+// them. Compare the sub-benchmarks: results are bit-identical (the
+// equivalence tests prove it); only the wall-clock differs.
+func BenchmarkIdlePlatform(b *testing.B) {
+	run := func(b *testing.B, noFF bool) {
+		b.Helper()
+		b.ReportAllocs()
+		var jumps, skipped uint64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cs, err := scenarios.NewConsolidation(scenarios.CaseConfig{
+				Seed: 7, Scale: 0.25,
+				StartHour: 2, EndHour: 3,
+				DisableClients: true, NoFastForward: noFF,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			cs.Run()
+			b.StopTimer()
+			jumps, skipped = cs.Sim.FastForwardStats()
+			cs.Sim.Shutdown()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(jumps), "jumps")
+		b.ReportMetric(float64(skipped), "skipped-ticks")
+	}
+	b.Run("fast-forward", func(b *testing.B) { run(b, false) })
+	b.Run("tick-by-tick", func(b *testing.B) { run(b, true) })
+}
+
 // Microbenchmarks of the queueing substrate.
 
 func BenchmarkFCFSQueueStep(b *testing.B) {

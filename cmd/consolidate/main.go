@@ -33,8 +33,12 @@ func main() {
 	end := flag.Int("end", 24, "last simulated GMT hour (exclusive)")
 	threads := flag.Int("threads", 8, "H-Dispatch worker threads (0 = sequential engine)")
 	seed := flag.Uint64("seed", 7, "simulation seed")
+	short := flag.Bool("short", false, "smoke run: one peak hour at reduced scale")
 	flag.Parse()
 
+	if *short {
+		*scale, *start, *end = 0.05, 13, 14
+	}
 	cfg := scenarios.CaseConfig{
 		Seed: *seed, Scale: *scale, StartHour: *start, EndHour: *end,
 	}

@@ -31,7 +31,15 @@ func main() {
 	minutes := flag.Float64("minutes", 2, "simulated minutes per speedup measurement")
 	scale := flag.Float64("scale", 0.5, "platform scale for speedup measurement")
 	agentSet := flag.Int("agentset", 0, "H-Dispatch agent-set size (0 = 64, the thesis' best)")
+	short := flag.Bool("short", false, "smoke run: tiny H-Dispatch speedup measurement")
 	flag.Parse()
+
+	if *short && *table == "" && *scenario == "" {
+		*table = "4.2"
+	}
+	if *short {
+		*minutes, *scale = 0.05, 0.1
+	}
 
 	switch {
 	case *table == "4.1":

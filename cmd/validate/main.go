@@ -25,12 +25,15 @@ func main() {
 	log.SetPrefix("validate: ")
 	expFlag := flag.String("experiment", "all", "experiment to run: 1, 2, 3 or all")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	short := flag.Bool("short", false, "smoke run: one experiment over reduced windows")
 	flag.Parse()
 
 	printTable51()
 
 	var indices []int
-	if *expFlag == "all" {
+	if *short {
+		indices = []int{0}
+	} else if *expFlag == "all" {
 		indices = []int{0, 1, 2}
 	} else {
 		n, err := strconv.Atoi(*expFlag)
@@ -43,10 +46,15 @@ func main() {
 	results := make([]*scenarios.ValidationResult, 0, len(indices))
 	for _, idx := range indices {
 		fmt.Printf("\nRunning %s ...\n", refdata.ValidationExperiments[idx].Name)
-		res, err := scenarios.RunValidation(scenarios.ValidationConfig{
+		cfg := scenarios.ValidationConfig{
 			Experiment: idx,
 			Seed:       *seed,
-		})
+		}
+		if *short {
+			cfg.LaunchFor, cfg.RunFor = 60, 90
+			cfg.SteadyStart, cfg.SteadyEnd = 20, 60
+		}
+		res, err := scenarios.RunValidation(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

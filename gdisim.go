@@ -9,8 +9,10 @@
 // (server, tier, data center); software applications are modeled as
 // message cascades whose messages carry hardware-agnostic cost arrays
 // R = (CPU cycles, network bytes, memory bytes, disk bytes). A discrete
-// time loop drives the agents with in-flight work (active-set scheduling,
-// see DESIGN.md), parallelized with either the classic Scatter-Gather
+// time loop drives the agents with in-flight work (active-set scheduling)
+// and fast-forwards the clock across provably quiet stretches (the
+// event-horizon loop, see DESIGN.md) — both bit-identical to the plain
+// tick-by-tick loop — parallelized with either the classic Scatter-Gather
 // mechanism or the H-Dispatch pull model of Chapter 4.
 //
 // # Quick start
@@ -56,7 +58,9 @@ type (
 	Engine = core.Engine
 	// SequentialEngine is the deterministic single-threaded reference.
 	SequentialEngine = core.SequentialEngine
-	// Source injects work into the simulation once per tick.
+	// Source injects work into the simulation. NextPoll reports when the
+	// next Poll can have an effect, letting the event-horizon loop skip
+	// the quiet ticks between injections (see DESIGN.md).
 	Source = core.Source
 	// SourceFunc adapts a function to the Source interface.
 	SourceFunc = core.SourceFunc

@@ -16,6 +16,7 @@ package background
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/workload"
 )
@@ -23,6 +24,20 @@ import (
 // GrowthModel maps each data center to its hourly data-generation rate
 // curve in MB/hour (Fig. 6-10).
 type GrowthModel map[string]workload.Curve
+
+// DCs returns the model's data centers in sorted order. Every float
+// summation over the model iterates this order: map iteration order is
+// randomized per run and float addition is not associative, so summing in
+// map order would make volumes differ by ulps from run to run — breaking
+// the bit-identical reproducibility the determinism contract promises.
+func (g GrowthModel) DCs() []string {
+	dcs := make([]string, 0, len(g))
+	for dc := range g {
+		dcs = append(dcs, dc)
+	}
+	sort.Strings(dcs)
+	return dcs
+}
 
 // RateMBh returns the generation rate of a data center at time t (seconds).
 func (g GrowthModel) RateMBh(dc string, t float64) float64 {
@@ -59,7 +74,7 @@ func (g GrowthModel) VolumeMB(dc string, t0, t1 float64) float64 {
 // GlobalDailyMB sums the generated volume of all data centers over one day.
 func (g GrowthModel) GlobalDailyMB() float64 {
 	total := 0.0
-	for dc := range g {
+	for _, dc := range g.DCs() {
 		total += g.VolumeMB(dc, 0, 24*3600)
 	}
 	return total
@@ -69,7 +84,7 @@ func (g GrowthModel) GlobalDailyMB() float64 {
 // during [t0, t1) that is owned by master m under the access matrix.
 func OwnedVolumeMB(g GrowthModel, apm workload.AccessMatrix, m string, t0, t1 float64) float64 {
 	total := 0.0
-	for src := range g {
+	for _, src := range g.DCs() {
 		share := apm[src][m]
 		if share > 0 {
 			total += g.VolumeMB(src, t0, t1) * share
@@ -104,7 +119,7 @@ func PushVolumeMB(g GrowthModel, apm workload.AccessMatrix, m, dst string, t0, t
 		return 0, nil
 	}
 	total := 0.0
-	for src := range g {
+	for _, src := range g.DCs() {
 		if src == dst {
 			continue
 		}

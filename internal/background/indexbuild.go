@@ -1,6 +1,8 @@
 package background
 
 import (
+	"math"
+
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/topology"
@@ -59,6 +61,21 @@ func (d *IndexDaemon) Poll(s *core.Simulation, now float64) {
 		return
 	}
 	d.launch(s, now)
+}
+
+// NextPoll reports the next scheduled INDEXBUILD launch. While a build is
+// running the daemon is dormant (+Inf): its completion callback sets the
+// relaunch time, and the simulation re-consults NextPoll every iteration,
+// so the re-arm is picked up on the tick after the build completes.
+func (d *IndexDaemon) NextPoll(now float64) float64 {
+	switch {
+	case !d.started:
+		return now
+	case d.running:
+		return math.Inf(1)
+	default:
+		return d.nextLaunch
+	}
 }
 
 // Running reports whether a build is in flight.

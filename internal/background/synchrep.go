@@ -56,6 +56,15 @@ func (d *SyncDaemon) Poll(s *core.Simulation, now float64) {
 	}
 }
 
+// NextPoll reports the next scheduled SYNCHREP launch; polls before it are
+// no-ops. In-flight cycles advance through the flow machinery, not polls.
+func (d *SyncDaemon) NextPoll(now float64) float64 {
+	if !d.started {
+		return now
+	}
+	return d.next
+}
+
 // Active reports how many SYNCHREP operations are currently in flight.
 func (d *SyncDaemon) Active() int { return d.activeCount }
 

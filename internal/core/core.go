@@ -16,6 +16,12 @@
 //     their flows and enqueue work on downstream agents. Work forwarded
 //     during tick t is first served at tick t+1, enforcing the timestamp
 //     consistency rule of §4.3.3.
+//
+// On top of the per-tick phases, RunFor and RunUntilIdle fast-forward the
+// clock across provably quiet stretches: every agent and source reports an
+// event horizon (Agent.Horizon, Source.NextPoll) and the loop jumps to
+// just before the earliest one, bit-identical to ticking through (see
+// DESIGN.md, "Event-horizon time loop").
 package core
 
 import (
@@ -53,6 +59,27 @@ type Agent interface {
 	Drain(fn func(*queueing.Task))
 	// Idle reports whether the agent holds no in-flight work.
 	Idle() bool
+	// Horizon reports the time in seconds until the agent's next observable
+	// event — a task completion or any internal state change that requires
+	// per-tick stepping — assuming no new work arrives; +Inf when nothing
+	// is scheduled. The fast-forward loop jumps the clock across quiet
+	// ticks strictly before the earliest horizon, so undershooting is
+	// always safe while overshooting would skip an event. AgentBase
+	// supplies a conservative 0 ("I may act next tick") for agents that do
+	// not override it; it is only called from sequential phases.
+	Horizon() float64
+}
+
+// BulkStepper is an optional agent capability: advancing through n
+// consecutive quiet ticks of dt seconds more cheaply than n Step calls,
+// with bit-identical resulting state. The fast-forward loop only invokes it
+// inside a jump, whose event horizon guarantees no observable event within
+// the window; implementations re-verify that guarantee cheaply (it costs
+// one scan) and fall back to per-tick stepping when it does not hold, so a
+// StepN call is always safe. Agents without the capability are stepped
+// tick by tick through the jump.
+type BulkStepper interface {
+	StepN(n int, dt float64)
 }
 
 // QueueAgent is an agent that accepts work: a flow stage can target it.
@@ -119,6 +146,14 @@ func (b *AgentBase) Pin() {
 
 // Pinned reports whether the agent opted out of deactivation.
 func (b *AgentBase) Pinned() bool { return b.pinned }
+
+// Horizon returns 0 — the conservative default that keeps an agent stepped
+// every tick while it is active. Agents whose next event is knowable
+// (hardware queues, delay lines) shadow this with an exact horizon so the
+// fast-forward loop can jump quiet stretches; agents whose Step has
+// per-tick side effects regardless of queued work (synthetic load
+// generators) keep the default and thereby veto jumps while active.
+func (b *AgentBase) Horizon() float64 { return 0 }
 
 // BufferDone records a completed task for the next Drain. Hardware agents
 // pass this method as the DoneFunc of their internal queues.

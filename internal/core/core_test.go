@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/queueing"
 )
 
@@ -460,5 +461,112 @@ func TestSilentOpsSkipResponseRecording(t *testing.T) {
 	}
 	if s.CompletedOps() != 1 {
 		t.Error("silent op not counted as completed")
+	}
+}
+
+// timedSource launches once at a scheduled instant and reports it through
+// NextPoll, so the event-horizon loop can skip the quiet polls before it.
+type timedSource struct {
+	at     float64
+	fired  bool
+	launch func(s *Simulation)
+}
+
+func (ts *timedSource) Poll(s *Simulation, now float64) {
+	if !ts.fired && now >= ts.at {
+		ts.fired = true
+		ts.launch(s)
+	}
+}
+
+func (ts *timedSource) NextPoll(now float64) float64 {
+	if ts.fired {
+		return math.Inf(1)
+	}
+	return ts.at
+}
+
+// fastForwardFixture runs a sparse schedule — two delay-line operations
+// separated by long quiet stretches — and returns the simulation for
+// inspection. The completion instants land mid-stretch, so both the
+// source-poll and the agent-horizon jump bounds are exercised.
+func fastForwardFixture(noFF bool) *Simulation {
+	s := NewSimulation(Config{Step: 0.01, CollectEvery: 500, Seed: 3, NoFastForward: noFF})
+	s.Collector.Register(metrics.Probe{Key: "flows", Sample: func(float64) float64 {
+		return float64(s.ActiveFlows())
+	}})
+	dl := NewDelayLine(s, "think")
+	for _, at := range []float64{0.5, 31.07} {
+		s.AddSource(&timedSource{at: at, launch: func(s *Simulation) {
+			s.StartOp(OpRun{
+				Name: "THINK", DC: "NA", NumSteps: 1,
+				Expand: func(int) []MessagePlan {
+					return []MessagePlan{{Stages: []Stage{{Queue: dl, Delay: 7.301}}}}
+				},
+			})
+		}})
+	}
+	s.RunFor(60)
+	return s
+}
+
+// TestFastForwardDelayLine checks the event-horizon loop end to end at the
+// core layer: the fast-forwarded run must jump across the quiet stretches
+// yet record completion timestamps bit-identical to the plain loop.
+func TestFastForwardDelayLine(t *testing.T) {
+	ff := fastForwardFixture(false)
+	plain := fastForwardFixture(true)
+
+	if j, skipped := plain.FastForwardStats(); j != 0 || skipped != 0 {
+		t.Fatalf("plain loop jumped: %d jumps, %d ticks", j, skipped)
+	}
+	jumps, skipped := ff.FastForwardStats()
+	if jumps == 0 || skipped < 3000 {
+		t.Errorf("fast-forward skipped %d ticks in %d jumps; the 60 s schedule holds ~45 s of quiet", skipped, jumps)
+	}
+	if ff.Clock().Now() != plain.Clock().Now() {
+		t.Errorf("final tick: %d vs %d", ff.Clock().Now(), plain.Clock().Now())
+	}
+	if ff.CompletedOps() != 2 || plain.CompletedOps() != 2 {
+		t.Fatalf("completed ops: ff %d plain %d, want 2", ff.CompletedOps(), plain.CompletedOps())
+	}
+	fs, ps := ff.Responses.Series("THINK", "NA"), plain.Responses.Series("THINK", "NA")
+	for i := range ps.V {
+		if fs.T[i] != ps.T[i] || fs.V[i] != ps.V[i] {
+			t.Errorf("completion %d: (%v, %v) vs (%v, %v)", i, fs.T[i], fs.V[i], ps.T[i], ps.V[i])
+		}
+	}
+}
+
+// TestFastForwardSnapshotBoundaries asserts that jumps never skip a
+// collector boundary: the snapshot timeline must be identical to the
+// plain loop's even when the platform is quiet for many windows.
+func TestFastForwardSnapshotBoundaries(t *testing.T) {
+	ff := fastForwardFixture(false)
+	plain := fastForwardFixture(true)
+	fs, ps := ff.Collector.MustSeries("flows"), plain.Collector.MustSeries("flows")
+	if fs.Len() != ps.Len() || fs.Len() != 12 {
+		t.Fatalf("snapshots: ff %d plain %d, want 12 (every 5 s over 60 s)", fs.Len(), ps.Len())
+	}
+	for i := range ps.V {
+		if fs.T[i] != ps.T[i] || fs.V[i] != ps.V[i] {
+			t.Errorf("snapshot %d: (%v, %v) vs (%v, %v)", i, fs.T[i], fs.V[i], ps.T[i], ps.V[i])
+		}
+	}
+}
+
+// TestDirectTickNeverJumps pins the Tick contract: manual single-stepping
+// stays single-stepping, however quiet the simulation is.
+func TestDirectTickNeverJumps(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	NewDelayLine(s, "idle")
+	for i := 0; i < 1000; i++ {
+		s.Tick()
+	}
+	if j, skipped := s.FastForwardStats(); j != 0 || skipped != 0 {
+		t.Errorf("direct Tick jumped: %d jumps, %d ticks", j, skipped)
+	}
+	if s.Clock().Now() != 1000 {
+		t.Errorf("clock at %d, want 1000", s.Clock().Now())
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"math"
 
 	"repro/internal/queueing"
 )
@@ -44,8 +45,36 @@ func (d *DelayLine) Step(dt float64) {
 	}
 }
 
+// StepN advances local time through n quiet ticks. The local clock must
+// still accumulate tick by tick — expiries compare against it, so a single
+// large addition would shift them by ulps — but when no expiry can fall in
+// the window the per-tick heap inspection is elided.
+func (d *DelayLine) StepN(n int, dt float64) {
+	if d.heap.Len() == 0 || d.heap[0].expiry-d.now > float64(n)*dt+1e-7 {
+		now := d.now
+		for i := 0; i < n; i++ {
+			now += dt
+		}
+		d.now = now
+		return
+	}
+	for i := 0; i < n; i++ {
+		d.Step(dt)
+	}
+}
+
 // Idle reports whether no tasks are waiting.
 func (d *DelayLine) Idle() bool { return d.heap.Len() == 0 }
+
+// Horizon returns the time until the earliest held task expires, measured
+// against the line's local clock — which is exactly the simulated time the
+// line will accumulate across a fast-forward replay — or +Inf when empty.
+func (d *DelayLine) Horizon() float64 {
+	if d.heap.Len() == 0 {
+		return math.Inf(1)
+	}
+	return d.heap[0].expiry - d.now
+}
 
 type delayEntry struct {
 	expiry float64

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"slices"
 
@@ -9,11 +10,20 @@ import (
 	"repro/internal/simtime"
 )
 
-// Source injects work into the simulation. Sources are polled once per tick
-// in the sequential phase, before the agent sweep: workload generators start
+// Source injects work into the simulation. Sources are polled in the
+// sequential phase, before the agent sweep: workload generators start
 // client operations, background daemons launch SYNCHREP/INDEXBUILD jobs.
 type Source interface {
 	Poll(s *Simulation, now float64)
+	// NextPoll reports the earliest simulated time at which a future Poll
+	// may have an observable effect (launch work, draw randomness, move a
+	// gauge), given that the source was just polled at now. Polls strictly
+	// before the returned instant must be no-ops; the event-horizon
+	// fast-forward relies on that contract to skip them wholesale.
+	// Returning now (or any instant within the next step) keeps classic
+	// per-tick polling; +Inf means the source is exhausted or is re-armed
+	// only by a completion callback.
+	NextPoll(now float64) float64
 }
 
 // SourceFunc adapts a function to the Source interface.
@@ -21,6 +31,10 @@ type SourceFunc func(s *Simulation, now float64)
 
 // Poll calls f.
 func (f SourceFunc) Poll(s *Simulation, now float64) { f(s, now) }
+
+// NextPoll returns now: an adapted function gives no schedule information,
+// so it is conservatively polled every tick and vetoes fast-forward jumps.
+func (f SourceFunc) NextPoll(now float64) float64 { return now }
 
 // Config parameterizes a Simulation.
 type Config struct {
@@ -33,6 +47,11 @@ type Config struct {
 	Seed uint64
 	// Engine parallelizes agent sweeps; nil selects SequentialEngine.
 	Engine Engine
+	// NoFastForward disables the event-horizon fast-forward and forces the
+	// plain tick-by-tick loop. Results are bit-identical either way — the
+	// equivalence tests enforce it — so the flag exists for A/B
+	// benchmarking and as a bisection aid, not as a safety valve.
+	NoFastForward bool
 }
 
 // Simulation owns the discrete time loop and everything attached to it:
@@ -58,6 +77,10 @@ type Simulation struct {
 
 	collectEvery simtime.Tick
 	rng          *rand.Rand
+
+	fastForward bool   // event-horizon jumps enabled (Config.NoFastForward off)
+	jumps       uint64 // fast-forward jumps taken
+	skipped     uint64 // whole ticks the jumps fast-forwarded across
 
 	gaugeIdx  map[string]Gauge
 	gaugeVals []float64
@@ -89,6 +112,7 @@ func NewSimulation(cfg Config) *Simulation {
 		collectEvery: simtime.Tick(cfg.CollectEvery),
 		rng:          rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
 		gaugeIdx:     make(map[string]Gauge),
+		fastForward:  !cfg.NoFastForward,
 	}
 }
 
@@ -189,9 +213,15 @@ func (s *Simulation) GaugeProbe(key string) metrics.Probe {
 }
 
 // Tick advances the simulation by exactly one step, executing the three
-// phases described in the package documentation.
-func (s *Simulation) Tick() {
-	dt := s.clock.Step()
+// phases described in the package documentation. Direct callers always get
+// a single step; the event-horizon fast-forward only engages inside
+// RunFor/RunUntilIdle, which pass their end tick as the jump bound.
+func (s *Simulation) Tick() { s.tick(s.clock.Now() + 1) }
+
+// tick advances the simulation by one step or, when the event horizon
+// allows, by a jump of whole ticks landing no later than limit.
+func (s *Simulation) tick(limit simtime.Tick) {
+	step := s.clock.Step()
 	now := s.clock.NowSeconds()
 
 	// Phase 0 (sequential): sources inject new work for this tick,
@@ -216,10 +246,39 @@ func (s *Simulation) Tick() {
 		s.sweep = append(s.sweep, s.agents[id])
 	}
 
-	// Phase 1 (parallel): time increment over the active agents only.
-	s.engine.Sweep(s.sweep, func(a Agent) { a.Step(dt) })
+	jump := simtime.Tick(1)
+	if s.fastForward && limit > s.clock.Now()+1 {
+		jump = s.quietTicks(limit)
+	}
 
-	tick := s.clock.Advance()
+	// Phase 1 (parallel): time increment over the active agents only.
+	if jump == 1 {
+		s.engine.Sweep(s.sweep, func(a Agent) { a.Step(step) })
+	} else {
+		// Event-horizon fast-forward: no source fires and no agent event
+		// falls within the next jump ticks, so the skipped polls, drains
+		// and bookkeeping are all no-ops. Each active agent still advances
+		// through the elapsed ticks with the same fixed step the plain
+		// loop would use — one large dt would change float accumulation
+		// order and break bit-identity — but agent-locally, without the
+		// per-tick loop machinery: bulk-stepping agents collapse the
+		// window into tight per-accumulator loops, the rest replay Step
+		// tick by tick, and an empty active set jumps in O(1).
+		n := int(jump)
+		s.engine.Sweep(s.sweep, func(a Agent) {
+			if bs, ok := a.(BulkStepper); ok {
+				bs.StepN(n, step)
+				return
+			}
+			for i := 0; i < n; i++ {
+				a.Step(step)
+			}
+		})
+		s.jumps++
+		s.skipped += uint64(jump - 1)
+	}
+
+	tick := s.clock.AdvanceBy(jump)
 
 	// Phase 3 (sequential): interaction — completed tasks advance flows.
 	// Downstream agents activated here join s.active beyond this tick's
@@ -249,21 +308,108 @@ func (s *Simulation) Tick() {
 	}
 }
 
+// ffGuard is the safety margin, in seconds, subtracted from agent horizons
+// before converting them to whole ticks. Queue models complete work within
+// a sub-epsilon of the exact instant (the eps thresholds in
+// internal/queueing and the delay heap), and a replayed jump accumulates
+// per-step float error; the guard absorbs both so an event can never fire
+// inside the ticks a jump skips. It is orders of magnitude below any
+// realistic step size, so it almost never shortens a jump.
+const ffGuard = 1e-6
+
+// quietTicks returns how many whole ticks the clock may advance in one
+// jump, in [1, limit-now]: the stretch strictly before the earliest
+// observable event — a source's next effective poll, an active agent's next
+// completion or internal handoff — additionally capped at the next
+// collector boundary so snapshots sample (and reset) busy accumulators at
+// exactly the ticks the plain loop would.
+func (s *Simulation) quietTicks(limit simtime.Tick) simtime.Tick {
+	now := s.clock.Now()
+	max := limit - now
+	if b := s.collectEvery - now%s.collectEvery; b < max {
+		max = b
+	}
+	if max <= 1 {
+		return 1
+	}
+	nowSec := s.clock.NowSeconds()
+	step := s.clock.Step()
+
+	// Sources first: they are few, and a due source (an active Poisson
+	// workload, any SourceFunc) vetoes the jump before the active set is
+	// scanned at all.
+	pmin := math.Inf(1)
+	for _, src := range s.sources {
+		if p := src.NextPoll(nowSec); p < pmin {
+			pmin = p
+		}
+	}
+	if pmin <= nowSec+step {
+		return 1
+	}
+
+	// Earliest event on any active agent, bailing out as soon as one is
+	// due within the next tick — in busy stretches that is the common case
+	// and keeps the scan cheap.
+	h := math.Inf(1)
+	for _, a := range s.sweep {
+		if ah := a.Horizon(); ah < h {
+			h = ah
+			if h <= step+ffGuard {
+				return 1
+			}
+		}
+	}
+
+	k := max
+	if !math.IsInf(h, 1) {
+		// The event tick itself is single-stepped by a later iteration:
+		// the jump must land strictly before it.
+		if ke := s.clock.WholeTicksBefore(h - ffGuard); ke < k {
+			k = ke
+		}
+	}
+	if !math.IsInf(pmin, 1) {
+		// Skipped polls sit at ticks now+1 .. now+k-1; every one must land
+		// strictly before the earliest due poll. The jump itself may land
+		// on the poll tick — that tick polls normally. The float estimate
+		// is corrected against the exact tick-time arithmetic the plain
+		// loop uses for its poll timestamps.
+		if kp := s.clock.WholeTicksBefore(pmin-nowSec) + 1; kp < k {
+			k = kp
+		}
+		for k > 1 && s.clock.SecondsAt(now+k-1) >= pmin {
+			k--
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// FastForwardStats reports how many event-horizon jumps the loop has taken
+// and how many whole ticks those jumps skipped (beyond the one tick each
+// loop iteration always advances).
+func (s *Simulation) FastForwardStats() (jumps, skippedTicks uint64) {
+	return s.jumps, s.skipped
+}
+
 // RunFor advances the simulation by d simulated seconds.
 func (s *Simulation) RunFor(d float64) {
 	end := s.clock.Now() + s.clock.TicksIn(d)
 	for s.clock.Now() < end {
-		s.Tick()
+		s.tick(end)
 	}
 }
 
-// RunUntilIdle ticks until no flows remain in flight and all agents are
+// RunUntilIdle runs until no flows remain in flight and all agents are
 // idle, or maxSeconds of simulated time elapse. It returns an error on
 // timeout so stuck cascades surface in tests instead of hanging.
 func (s *Simulation) RunUntilIdle(maxSeconds float64) error {
 	deadline := s.clock.Now() + s.clock.TicksIn(maxSeconds)
 	for s.clock.Now() < deadline {
-		s.Tick()
+		s.tick(deadline)
 		if s.activeFlows == 0 && s.agentsIdle() {
 			return nil
 		}

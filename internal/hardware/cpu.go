@@ -19,6 +19,7 @@ package hardware
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/queueing"
@@ -86,6 +87,25 @@ func (c *CPU) Step(dt float64) {
 	}
 }
 
+// StepN advances every socket through n quiet ticks in bulk. The fallback
+// is whole-agent: if any socket might complete work in the window, all
+// sockets replay tick by tick so completions buffer in the same
+// tick-major order the plain loop produces.
+func (c *CPU) StepN(n int, dt float64) {
+	span := float64(n) * dt
+	for _, s := range c.sockets {
+		if !s.CanBulk(span) {
+			for i := 0; i < n; i++ {
+				c.Step(dt)
+			}
+			return
+		}
+	}
+	for _, s := range c.sockets {
+		s.BulkStep(n, dt)
+	}
+}
+
 // Idle reports whether all sockets are empty.
 func (c *CPU) Idle() bool {
 	for _, s := range c.sockets {
@@ -94,6 +114,17 @@ func (c *CPU) Idle() bool {
 		}
 	}
 	return true
+}
+
+// Horizon returns the time until the earliest completion on any socket.
+func (c *CPU) Horizon() float64 {
+	h := math.Inf(1)
+	for _, s := range c.sockets {
+		if sh := s.Horizon(); sh < h {
+			h = sh
+		}
+	}
+	return h
 }
 
 // TakeBusy returns accumulated busy core-seconds across all sockets since

@@ -385,3 +385,94 @@ func TestRAIDWorkConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAgentHorizons checks each hardware agent's event horizon: +Inf when
+// idle, the exact earliest internal event when loaded, and per-tick
+// equivalence of the bulk-step path against plain stepping.
+func TestAgentHorizons(t *testing.T) {
+	s := core.NewSimulation(core.Config{})
+	cpu := NewCPU(s, "cpu", CPUSpec{Sockets: 1, Cores: 2, GHz: 1e-9}) // 1 cycle/s per core
+	nic := NewNIC(s, "nic", 8e-9)                                     // 1 byte/s
+	raid := NewRAID(s, "raid", RAIDSpec{
+		Disks: 2, Disk: DiskSpec{CtrlGbps: 4, MBps: 150, HitRate: 0},
+		CtrlGbps: 8, HitRate: 0,
+	})
+	for _, a := range []core.Agent{cpu, nic, raid} {
+		if h := a.Horizon(); !math.IsInf(h, 1) {
+			t.Errorf("%s idle horizon = %v, want +Inf", a.Name(), h)
+		}
+	}
+	cpu.Enqueue(&queueing.Task{ID: 1, Demand: 4})
+	cpu.Enqueue(&queueing.Task{ID: 2, Demand: 9})
+	if h := cpu.Horizon(); h != 4 {
+		t.Errorf("cpu horizon = %v, want 4 (earliest core completion)", h)
+	}
+	nic.Enqueue(&queueing.Task{ID: 3, Demand: 2.5})
+	if h := nic.Horizon(); h != 2.5 {
+		t.Errorf("nic horizon = %v, want 2.5", h)
+	}
+	raid.Enqueue(&queueing.Task{ID: 4, Demand: 64e6})
+	h := raid.Horizon()
+	if math.IsInf(h, 1) || h <= 0 {
+		t.Errorf("loaded raid horizon = %v, want finite positive (controller-cache service)", h)
+	}
+	if want := 64e6 / (8e9 / 8); h != want {
+		t.Errorf("raid horizon = %v, want %v (dacc service time)", h, want)
+	}
+}
+
+// TestStepNMatchesStep drives every bulk-stepping hardware agent through a
+// jump-sized window and asserts the final state equals per-tick stepping:
+// the replay contract behind fast-forward.
+func TestStepNMatchesStep(t *testing.T) {
+	build := func() (*core.Simulation, []core.Agent) {
+		s := core.NewSimulation(core.Config{Seed: 11})
+		cpu := NewCPU(s, "cpu", CPUSpec{Sockets: 2, Cores: 2, GHz: 2.5})
+		link := NewLink(s, "link", LinkSpec{Gbps: 1, LatencyMS: 45})
+		san := NewSAN(s, "san", SANSpec{
+			Disks: 4, Disk: DiskSpec{CtrlGbps: 4, MBps: 150, HitRate: 0.1},
+			FCSwitchGbps: 8, CtrlGbps: 8, FCALGbps: 8, HitRate: 0.05,
+		})
+		cpu.Enqueue(&queueing.Task{ID: 1, Demand: 3e9})
+		cpu.Enqueue(&queueing.Task{ID: 2, Demand: 7e9})
+		link.Enqueue(&queueing.Task{ID: 3, Demand: 80e6})
+		san.Enqueue(&queueing.Task{ID: 4, Demand: 96e6})
+		return s, []core.Agent{cpu, link, san}
+	}
+	const dt, n = 0.01, 700
+	_, bulk := build()
+	_, plain := build()
+	for i, a := range bulk {
+		ref := plain[i]
+		for tick := 0; tick < 3*n; tick += n {
+			a.(core.BulkStepper).StepN(n, dt)
+			for j := 0; j < n; j++ {
+				ref.Step(dt)
+			}
+			var ad, rd int
+			a.Drain(func(*queueing.Task) { ad++ })
+			ref.Drain(func(*queueing.Task) { rd++ })
+			if ad != rd {
+				t.Fatalf("%s: completions after window differ: %d vs %d", a.Name(), ad, rd)
+			}
+		}
+		if ab, rb := takeBusy(a), takeBusy(ref); ab != rb {
+			t.Errorf("%s: busy accumulators differ: %v vs %v", a.Name(), ab, rb)
+		}
+		if a.Idle() != ref.Idle() {
+			t.Errorf("%s: idle %v vs %v", a.Name(), a.Idle(), ref.Idle())
+		}
+	}
+}
+
+func takeBusy(a core.Agent) float64 {
+	switch v := a.(type) {
+	case *CPU:
+		return v.TakeBusy()
+	case *Link:
+		return v.TakeBusy()
+	case *SAN:
+		return v.TakeBusy()
+	}
+	return 0
+}

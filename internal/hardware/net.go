@@ -39,8 +39,14 @@ func (n *NIC) Enqueue(t *queueing.Task) {
 // Step advances the queue.
 func (n *NIC) Step(dt float64) { n.q.Step(dt, n.BufferDone) }
 
+// StepN advances the queue through nticks quiet ticks in bulk.
+func (n *NIC) StepN(nticks int, dt float64) { stepBulk(n.q, nticks, dt, n.BufferDone) }
+
 // Idle reports whether the NIC has no work.
 func (n *NIC) Idle() bool { return n.q.Idle() }
+
+// Horizon returns the time until the NIC's next completion.
+func (n *NIC) Horizon() float64 { return n.q.Horizon() }
 
 // TakeBusy returns busy seconds since the last call.
 func (n *NIC) TakeBusy() float64 { return n.q.TakeBusy() }
@@ -77,8 +83,14 @@ func (s *Switch) Enqueue(t *queueing.Task) {
 // Step advances the queue.
 func (s *Switch) Step(dt float64) { s.q.Step(dt, s.BufferDone) }
 
+// StepN advances the queue through n quiet ticks in bulk.
+func (s *Switch) StepN(n int, dt float64) { stepBulk(s.q, n, dt, s.BufferDone) }
+
 // Idle reports whether the switch has no work.
 func (s *Switch) Idle() bool { return s.q.Idle() }
+
+// Horizon returns the time until the switch's next completion.
+func (s *Switch) Horizon() float64 { return s.q.Horizon() }
 
 // TakeBusy returns busy seconds since the last call.
 func (s *Switch) TakeBusy() float64 { return s.q.TakeBusy() }
@@ -149,8 +161,36 @@ func (l *Link) Enqueue(t *queueing.Task) {
 // Step advances the queue.
 func (l *Link) Step(dt float64) { l.q.Step(dt, l.BufferDone) }
 
+// StepN advances the queue through n quiet ticks in bulk, falling back to
+// per-tick stepping when a completion or latency expiry might fall inside
+// the window.
+func (l *Link) StepN(n int, dt float64) { stepBulk(l.q, n, dt, l.BufferDone) }
+
+// bulkQueue is the method set FCFS and PS share for bulk-stepped replays.
+type bulkQueue interface {
+	CanBulk(span float64) bool
+	BulkStep(n int, dt float64)
+	Step(dt float64, done queueing.DoneFunc)
+}
+
+// stepBulk advances a queue through n quiet ticks in bulk, replaying tick
+// by tick when the no-event guarantee does not hold.
+func stepBulk(q bulkQueue, n int, dt float64, done queueing.DoneFunc) {
+	if q.CanBulk(float64(n) * dt) {
+		q.BulkStep(n, dt)
+		return
+	}
+	for i := 0; i < n; i++ {
+		q.Step(dt, done)
+	}
+}
+
 // Idle reports whether the link carries no traffic.
 func (l *Link) Idle() bool { return l.q.Idle() }
+
+// Horizon returns the time until the link's next internal event (a latency
+// expiry changing the bandwidth share, or a transfer completion).
+func (l *Link) Horizon() float64 { return l.q.Horizon() }
 
 // TakeBusy returns bytes transferred since the last call. Utilization of
 // the allocated capacity over a window is bytes / (Rate() x window).

@@ -2,6 +2,7 @@ package hardware
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"repro/internal/core"
@@ -128,6 +129,41 @@ func (a *diskArray) idle() bool {
 	return true
 }
 
+// canBulk reports whether no disk pipeline produces an event within span.
+func (a *diskArray) canBulk(span float64) bool {
+	for _, d := range a.disks {
+		if !d.dcc.CanBulk(span) || !d.hdd.CanBulk(span) {
+			return false
+		}
+	}
+	return true
+}
+
+// bulkStep advances every disk pipeline through n quiet ticks in bulk.
+func (a *diskArray) bulkStep(n int, dt float64) {
+	for _, d := range a.disks {
+		d.dcc.BulkStep(n, dt)
+		d.hdd.BulkStep(n, dt)
+	}
+}
+
+// horizon returns the time until the next event anywhere in the disk
+// pipelines. Internal handoffs (controller cache to drive) count as events:
+// they re-route work between queues, which the per-tick step semantics
+// resolve, so a fast-forward jump must stop before them.
+func (a *diskArray) horizon() float64 {
+	h := math.Inf(1)
+	for _, d := range a.disks {
+		if q := d.dcc.Horizon(); q < h {
+			h = q
+		}
+		if q := d.hdd.Horizon(); q < h {
+			h = q
+		}
+	}
+	return h
+}
+
 // takeDriveBusy returns drive busy seconds summed over disks and drains the
 // controller-cache accumulators.
 func (a *diskArray) takeDriveBusy() float64 {
@@ -213,6 +249,25 @@ func (r *RAID) Step(dt float64) {
 	r.array.step(dt)
 }
 
+// StepN advances the whole array through n quiet ticks in bulk. The
+// fallback is whole-agent per-tick stepping: an internal handoff re-routes
+// work between queues mid-window, which only the tick-major order of Step
+// resolves correctly.
+func (r *RAID) StepN(n int, dt float64) {
+	if r.inflight == 0 {
+		return
+	}
+	span := float64(n) * dt
+	if r.dacc.CanBulk(span) && r.array.canBulk(span) {
+		r.dacc.BulkStep(n, dt)
+		r.array.bulkStep(n, dt)
+		return
+	}
+	for i := 0; i < n; i++ {
+		r.Step(dt)
+	}
+}
+
 func (r *RAID) onCtrlDone(t *queueing.Task) {
 	ext := t.Payload.(*extReq)
 	if r.rng.Float64() < r.spec.HitRate {
@@ -224,6 +279,15 @@ func (r *RAID) onCtrlDone(t *queueing.Task) {
 
 // Idle reports whether the whole array is empty.
 func (r *RAID) Idle() bool { return r.inflight == 0 }
+
+// Horizon returns the time until the next event anywhere in the array:
+// the controller cache or any disk pipeline.
+func (r *RAID) Horizon() float64 {
+	if r.inflight == 0 {
+		return math.Inf(1)
+	}
+	return math.Min(r.dacc.Horizon(), r.array.horizon())
+}
 
 // TakeBusy returns drive busy seconds summed across disks since the last
 // call (the mechanical bottleneck of the array).
@@ -318,6 +382,25 @@ func (s *SAN) Step(dt float64) {
 	s.array.step(dt)
 }
 
+// StepN advances the whole SAN through n quiet ticks in bulk, with the
+// same whole-agent fallback rationale as RAID.StepN.
+func (s *SAN) StepN(n int, dt float64) {
+	if s.inflight == 0 {
+		return
+	}
+	span := float64(n) * dt
+	if s.fcsw.CanBulk(span) && s.dacc.CanBulk(span) && s.fcal.CanBulk(span) && s.array.canBulk(span) {
+		s.fcsw.BulkStep(n, dt)
+		s.dacc.BulkStep(n, dt)
+		s.fcal.BulkStep(n, dt)
+		s.array.bulkStep(n, dt)
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.Step(dt)
+	}
+}
+
 func (s *SAN) onFCSwitchDone(t *queueing.Task) {
 	ext := t.Payload.(*extReq)
 	t.Demand = ext.demand
@@ -340,6 +423,17 @@ func (s *SAN) onLoopDone(t *queueing.Task) {
 
 // Idle reports whether the whole SAN is empty.
 func (s *SAN) Idle() bool { return s.inflight == 0 }
+
+// Horizon returns the time until the next event anywhere in the SAN
+// pipeline: FC switch, controller cache, arbitrated loop or disks.
+func (s *SAN) Horizon() float64 {
+	if s.inflight == 0 {
+		return math.Inf(1)
+	}
+	h := math.Min(s.fcsw.Horizon(), s.dacc.Horizon())
+	h = math.Min(h, s.fcal.Horizon())
+	return math.Min(h, s.array.horizon())
+}
 
 // TakeBusy returns drive busy seconds summed across disks since last call.
 func (s *SAN) TakeBusy() float64 {

@@ -1,9 +1,20 @@
 package queueing
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // eps guards float comparisons when resolving sub-step completions.
 const eps = 1e-12
+
+// bulkGuard is the safety margin, in seconds, a queue keeps between a
+// bulk-stepped window and its earliest possible internal event. Step
+// resolves completions up to an eps early, and a long per-tick subtraction
+// chain drifts by ulps from the exact product; both are orders of magnitude
+// below this margin, so an event can never fire inside a window CanBulk
+// approved.
+const bulkGuard = 1e-7
 
 // FCFS is a first-come-first-served queue with c identical servers, each
 // consuming Demand units at rate units/second. It models the CPU core group
@@ -74,6 +85,66 @@ func (q *FCFS) fill() {
 			return
 		}
 		q.inService = append(q.inService, t)
+	}
+}
+
+// Horizon returns the time in seconds until the queue's next departure
+// assuming no further arrivals, or +Inf when the queue is empty. It first
+// promotes waiting tasks onto idle servers — the same promotion Step would
+// perform at its start, so calling Horizon never changes what Step computes
+// — then takes the minimum time-to-completion over the tasks in service.
+// The value is exact for the earliest event; fast-forward jumps must stop
+// strictly before it.
+func (q *FCFS) Horizon() float64 {
+	q.fill()
+	if len(q.inService) == 0 {
+		return math.Inf(1)
+	}
+	h := math.Inf(1)
+	for _, t := range q.inService {
+		if ttc := t.Demand / q.rate; ttc < h {
+			h = ttc
+		}
+	}
+	return h
+}
+
+// CanBulk reports whether the queue is guaranteed to complete nothing
+// within the next span seconds, so that BulkStep may replace per-tick
+// stepping. The margin over the exact threshold absorbs the eps-early
+// completion in Step and the float drift of a long subtraction chain.
+func (q *FCFS) CanBulk(span float64) bool {
+	q.fill()
+	for _, t := range q.inService {
+		if t.Demand/q.rate <= span+bulkGuard {
+			return false
+		}
+	}
+	return true
+}
+
+// BulkStep advances the queue through n consecutive ticks of dt seconds in
+// one call, producing state bit-identical to n sequential Step(dt) calls.
+// It must only be called when CanBulk(n*dt) holds: with no completion in
+// the window, each tick's arithmetic reduces to one constant subtraction
+// per in-service task and one constant busy addition, and those per-
+// accumulator operation sequences are replayed exactly — only the per-tick
+// call overhead (refill, completion scans) is elided.
+func (q *FCFS) BulkStep(n int, dt float64) {
+	if len(q.inService) == 0 {
+		return
+	}
+	busyInc := dt * float64(len(q.inService))
+	for i := 0; i < n; i++ {
+		q.busy += busyInc
+	}
+	work := dt * q.rate
+	for _, t := range q.inService {
+		d := t.Demand
+		for i := 0; i < n; i++ {
+			d -= work
+		}
+		t.Demand = d
 	}
 }
 

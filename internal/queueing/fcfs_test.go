@@ -215,3 +215,80 @@ func TestFCFSMatchesMMcTheory(t *testing.T) {
 		}
 	}
 }
+
+func TestFCFSHorizon(t *testing.T) {
+	q := NewFCFS(2, 10)
+	if h := q.Horizon(); !math.IsInf(h, 1) {
+		t.Fatalf("empty queue horizon = %v, want +Inf", h)
+	}
+	q.Enqueue(&Task{ID: 1, Demand: 5})  // 0.5 s
+	q.Enqueue(&Task{ID: 2, Demand: 20}) // 2.0 s
+	q.Enqueue(&Task{ID: 3, Demand: 1})  // waits for a server
+	if h := q.Horizon(); h != 0.5 {
+		t.Fatalf("horizon = %v, want 0.5 (earliest in-service completion)", h)
+	}
+	// Horizon promoted the first two tasks into service, exactly as the
+	// next Step would have; the third still waits.
+	if q.InService() != 2 || q.Waiting() != 1 {
+		t.Fatalf("after Horizon: in-service %d waiting %d, want 2 and 1", q.InService(), q.Waiting())
+	}
+	// A waiting task never bounds the horizon: it starts service only
+	// after a departure, which is itself the earlier event.
+	var done []*Task
+	q.Step(0.5, collect(&done))
+	if len(done) != 1 {
+		t.Fatalf("completed %d, want 1", len(done))
+	}
+	if h := q.Horizon(); h != 0.1 {
+		t.Fatalf("horizon after refill = %v, want 0.1", h)
+	}
+}
+
+// TestFCFSBulkStepBitIdentical drives one queue with per-tick Steps and a
+// clone with CanBulk/BulkStep windows, asserting bit-identical demands and
+// busy accumulation — the contract the fast-forward replay relies on.
+func TestFCFSBulkStepBitIdentical(t *testing.T) {
+	mk := func() *FCFS {
+		q := NewFCFS(3, 7.3)
+		q.Enqueue(&Task{ID: 1, Demand: 11.13})
+		q.Enqueue(&Task{ID: 2, Demand: 29.7})
+		q.Enqueue(&Task{ID: 3, Demand: 5.21})
+		q.Enqueue(&Task{ID: 4, Demand: 8.8}) // waiting
+		return q
+	}
+	const dt = 0.01
+	ref, bulk := mk(), mk()
+	var refDone, bulkDone []*Task
+	steps := 0
+	for !bulk.Idle() && steps < 10000 {
+		n := 1
+		for w := 2; w <= 64; w *= 2 {
+			if bulk.CanBulk(float64(w) * dt) {
+				n = w
+			}
+		}
+		if n == 1 {
+			bulk.Step(dt, collect(&bulkDone))
+		} else {
+			bulk.BulkStep(n, dt)
+		}
+		for i := 0; i < n; i++ {
+			ref.Step(dt, collect(&refDone))
+		}
+		steps += n
+	}
+	if !ref.Idle() {
+		t.Fatalf("reference queue still busy after %d ticks", steps)
+	}
+	if len(refDone) != 4 || len(bulkDone) != 4 {
+		t.Fatalf("completions: ref %d bulk %d, want 4 each", len(refDone), len(bulkDone))
+	}
+	for i := range refDone {
+		if refDone[i].ID != bulkDone[i].ID {
+			t.Errorf("completion %d: ref ID %d bulk ID %d", i, refDone[i].ID, bulkDone[i].ID)
+		}
+	}
+	if rb, bb := ref.TakeBusy(), bulk.TakeBusy(); rb != bb {
+		t.Errorf("busy accumulators differ: %v vs %v", rb, bb)
+	}
+}

@@ -1,6 +1,9 @@
 package queueing
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // PS is a processor-sharing queue with a connection limit k and a constant
 // per-task latency, modeling network links (M/M/1/k-PS, Fig. 3-6 right).
@@ -78,6 +81,114 @@ func (q *PS) fill() {
 			return
 		}
 		q.inService = append(q.inService, t)
+	}
+}
+
+// Horizon returns the time in seconds until the queue's next internal
+// event — the earliest latency expiry (which changes the bandwidth share)
+// or transfer completion at the current share — assuming no further
+// arrivals; +Inf when the queue is empty. Waiting tasks are first promoted
+// into free connection slots, mirroring Step's own promotion. The result
+// may undershoot the next departure (a latency expiry is not a departure),
+// which is safe: horizons bound fast-forward jumps from below.
+func (q *PS) Horizon() float64 {
+	q.fill()
+	if len(q.inService) == 0 {
+		return math.Inf(1)
+	}
+	transferring := 0
+	for _, t := range q.inService {
+		if t.Delay <= eps {
+			transferring++
+		}
+	}
+	share := 0.0
+	if transferring > 0 {
+		share = q.rate / float64(transferring)
+	}
+	h := math.Inf(1)
+	for _, t := range q.inService {
+		if t.Delay > eps {
+			if t.Delay < h {
+				h = t.Delay
+			}
+		} else if share > 0 {
+			if ttc := t.Demand / share; ttc < h {
+				h = ttc
+			}
+		}
+	}
+	return h
+}
+
+// CanBulk reports whether the queue is guaranteed to produce no internal
+// event — no transfer completion and no share-changing latency expiry —
+// within the next span seconds, so that BulkStep may replace per-tick
+// stepping.
+func (q *PS) CanBulk(span float64) bool {
+	q.fill()
+	transferring := 0
+	for _, t := range q.inService {
+		if t.Delay <= eps {
+			transferring++
+		}
+	}
+	share := 0.0
+	if transferring > 0 {
+		share = q.rate / float64(transferring)
+	}
+	for _, t := range q.inService {
+		if t.Delay > eps {
+			if t.Delay <= span+bulkGuard {
+				return false
+			}
+		} else if share > 0 && t.Demand/share <= span+bulkGuard {
+			return false
+		}
+	}
+	return true
+}
+
+// BulkStep advances the queue through n consecutive ticks of dt seconds in
+// one call, bit-identical to n sequential Step(dt) calls. It must only be
+// called when CanBulk(n*dt) holds: the bandwidth share is then constant
+// across the window, so each tick subtracts the same consumed amount from
+// every transferring task (and dt from every latency countdown), and the
+// work accumulator receives the same constant once per transferring task
+// per tick — a sequence whose float result is order-independent because
+// every addend is identical.
+func (q *PS) BulkStep(n int, dt float64) {
+	if len(q.inService) == 0 {
+		return
+	}
+	transferring := 0
+	for _, t := range q.inService {
+		if t.Delay <= eps {
+			transferring++
+		}
+	}
+	share := 0.0
+	if transferring > 0 {
+		share = q.rate / float64(transferring)
+	}
+	consumed := dt * share
+	for _, t := range q.inService {
+		if t.Delay > eps {
+			d := t.Delay
+			for i := 0; i < n; i++ {
+				d -= dt
+			}
+			t.Delay = d
+		} else {
+			d := t.Demand
+			for i := 0; i < n; i++ {
+				d -= consumed
+			}
+			t.Demand = d
+		}
+	}
+	for i := n * transferring; i > 0; i-- {
+		q.work += consumed
 	}
 }
 

@@ -146,3 +146,70 @@ func TestPSMatchesMM1PSTheory(t *testing.T) {
 			res.MeanResponse, want, relErr*100)
 	}
 }
+
+func TestPSHorizon(t *testing.T) {
+	q := NewPS(10, 4, 0.2)
+	if h := q.Horizon(); !math.IsInf(h, 1) {
+		t.Fatalf("empty queue horizon = %v, want +Inf", h)
+	}
+	q.Enqueue(&Task{ID: 1, Demand: 5})
+	// Freshly admitted: the earliest event is the latency expiry, which
+	// changes the bandwidth share — not yet a departure.
+	if h := q.Horizon(); h != 0.2 {
+		t.Fatalf("horizon = %v, want 0.2 (latency expiry)", h)
+	}
+	var done []*Task
+	q.Step(0.2, collect(&done))
+	// Latency elapsed; the transfer now runs at the full rate.
+	if h := q.Horizon(); h != 0.5 {
+		t.Fatalf("horizon = %v, want 0.5 (transfer completion)", h)
+	}
+}
+
+// TestPSBulkStepBitIdentical mirrors the FCFS bulk test for the
+// processor-sharing link: latency countdowns, share changes and transfer
+// completions must land on the same ticks with bit-identical state.
+func TestPSBulkStepBitIdentical(t *testing.T) {
+	mk := func() *PS {
+		q := NewPS(9.7, 2, 0.13)
+		q.Enqueue(&Task{ID: 1, Demand: 17.3})
+		q.Enqueue(&Task{ID: 2, Demand: 4.99})
+		q.Enqueue(&Task{ID: 3, Demand: 7.1}) // waits for a slot
+		return q
+	}
+	const dt = 0.01
+	ref, bulk := mk(), mk()
+	var refDone, bulkDone []*Task
+	steps := 0
+	for !bulk.Idle() && steps < 10000 {
+		n := 1
+		for w := 2; w <= 64; w *= 2 {
+			if bulk.CanBulk(float64(w) * dt) {
+				n = w
+			}
+		}
+		if n == 1 {
+			bulk.Step(dt, collect(&bulkDone))
+		} else {
+			bulk.BulkStep(n, dt)
+		}
+		for i := 0; i < n; i++ {
+			ref.Step(dt, collect(&refDone))
+		}
+		steps += n
+	}
+	if !ref.Idle() {
+		t.Fatalf("reference queue still busy after %d ticks", steps)
+	}
+	if len(refDone) != 3 || len(bulkDone) != 3 {
+		t.Fatalf("completions: ref %d bulk %d, want 3 each", len(refDone), len(bulkDone))
+	}
+	for i := range refDone {
+		if refDone[i].ID != bulkDone[i].ID {
+			t.Errorf("completion %d: ref ID %d bulk ID %d", i, refDone[i].ID, bulkDone[i].ID)
+		}
+	}
+	if rw, bw := ref.TakeBusy(), bulk.TakeBusy(); rw != bw {
+		t.Errorf("work accumulators differ: %v vs %v", rw, bw)
+	}
+}

@@ -38,6 +38,12 @@ type Queue interface {
 	InService() int
 	// Idle reports whether the queue holds no work at all.
 	Idle() bool
+	// Horizon reports the time in seconds until the queue's next internal
+	// event (departure, or a share-changing latency expiry for PS queues)
+	// assuming no further arrivals; +Inf when empty. Horizons bound
+	// fast-forward jumps from below: undershooting is safe, overshooting
+	// would skip an event and is a correctness bug.
+	Horizon() float64
 	// TakeBusy returns the accumulated busy time (in server-seconds for
 	// FCFS queues, in seconds-of-transmission for PS queues) since the
 	// last call, and resets the accumulator. Collectors call this once

@@ -31,6 +31,9 @@ type CaseConfig struct {
 	// studies); DisableBackground drops the SR/IB daemons.
 	DisableClients    bool
 	DisableBackground bool
+	// NoFastForward forces the plain tick-by-tick loop (A/B comparison;
+	// results are bit-identical either way).
+	NoFastForward bool
 }
 
 func (c *CaseConfig) defaults() error {
@@ -100,10 +103,11 @@ func buildCaseStudy(name string, cfg CaseConfig, traits map[string]dcTraits,
 		return nil, err
 	}
 	sim := core.NewSimulation(core.Config{
-		Step:         cfg.Step,
-		CollectEvery: int(math.Round(60 / cfg.Step)), // 1-minute snapshots
-		Seed:         cfg.Seed,
-		Engine:       cfg.Engine,
+		Step:          cfg.Step,
+		CollectEvery:  int(math.Round(60 / cfg.Step)), // 1-minute snapshots
+		Seed:          cfg.Seed,
+		Engine:        cfg.Engine,
+		NoFastForward: cfg.NoFastForward,
 	})
 	spec, err := caseInfraSpec(cfg, traits)
 	if err != nil {
@@ -149,7 +153,9 @@ func (cs *CaseStudy) indexCyclesPerByte(master string, headroom float64) float64
 	for h := 0; h < 24; h++ {
 		t := float64(h)*3600 + 1800
 		rate := 0.0
-		for dc := range cs.Growth {
+		// Sorted iteration: summing in map order would make the derived
+		// cycle cost differ by ulps between runs.
+		for _, dc := range cs.Growth.DCs() {
 			rate += cs.Growth.RateMBh(dc, t) * cs.APM[dc][master]
 		}
 		if rate > peakMBh {

@@ -1,0 +1,158 @@
+package scenarios
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/metrics"
+)
+
+// ffEngines is the engine matrix the fast-forward equivalence runs under:
+// the sequential reference and both parallel engines. Fast-forward replays
+// agent steps inside Engine.Sweep, so the jump path must be exercised
+// through every engine, not just the sequential one.
+func ffEngines() []struct {
+	name string
+	mk   func() core.Engine
+} {
+	return []struct {
+		name string
+		mk   func() core.Engine
+	}{
+		{"sequential", func() core.Engine { return &core.SequentialEngine{} }},
+		{"scatter-gather-4", func() core.Engine { return dispatch.NewScatterGather(4) }},
+		{"h-dispatch-4x64", func() core.Engine { return dispatch.NewHDispatch(4, 64) }},
+	}
+}
+
+// sameResponses asserts two response trackers hold identical populations:
+// same (op, dc) keys, same sample count, bit-identical timestamps and
+// durations.
+func sameResponses(t *testing.T, ref, got *metrics.Responses) {
+	t.Helper()
+	refKeys, gotKeys := ref.Keys(), got.Keys()
+	if len(refKeys) != len(gotKeys) {
+		t.Fatalf("response keys: %d vs %d", len(refKeys), len(gotKeys))
+	}
+	for i, k := range refKeys {
+		if gotKeys[i] != k {
+			t.Fatalf("response key %d: %v vs %v", i, k, gotKeys[i])
+		}
+		sameSeries(t, fmt.Sprintf("responses %s@%s", k.Op, k.DC),
+			ref.Series(k.Op, k.DC), got.Series(k.Op, k.DC))
+	}
+}
+
+// sameCollector asserts two collectors recorded identical series sets with
+// bit-identical samples.
+func sameCollector(t *testing.T, ref, got *metrics.Collector) {
+	t.Helper()
+	refKeys, gotKeys := ref.Keys(), got.Keys()
+	if len(refKeys) != len(gotKeys) {
+		t.Fatalf("collector keys: %d vs %d", len(refKeys), len(gotKeys))
+	}
+	for i, k := range refKeys {
+		if gotKeys[i] != k {
+			t.Fatalf("collector key %d: %q vs %q", i, k, gotKeys[i])
+		}
+		sameSeries(t, k, ref.Series(k), got.Series(k))
+	}
+}
+
+// TestFastForwardEquivalenceOnValidation proves the event-horizon loop is a
+// pure performance change on the Chapter 5 validation scenario: completed
+// operations, every response record and every collector series must be
+// bit-identical with fast-forward on versus the plain tick-by-tick loop,
+// under all three engines. The scenario mixes dense activity (overlapping
+// series) with quiet stretches (between launches and the post-launch
+// drain), so both the jump and the veto paths are exercised.
+func TestFastForwardEquivalenceOnValidation(t *testing.T) {
+	launchFor, runFor := 120.0, 150.0
+	if testing.Short() {
+		launchFor, runFor = 45, 75
+	}
+	run := func(eng core.Engine, noFF bool) *ValidationResult {
+		res, err := RunValidation(ValidationConfig{
+			Experiment: 1, Seed: 42, Engine: eng,
+			LaunchFor: launchFor, RunFor: runFor,
+			SteadyStart: 30, SteadyEnd: launchFor,
+			NoFastForward: noFF,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, tc := range ffEngines() {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := run(tc.mk(), true)
+			got := run(tc.mk(), false)
+			if ref.CompletedOps != got.CompletedOps {
+				t.Errorf("completed ops: %d vs %d", ref.CompletedOps, got.CompletedOps)
+			}
+			sameResponses(t, ref.Responses, got.Responses)
+			sameSeries(t, "clients", ref.Clients, got.Clients)
+			for tier, s := range ref.CPU {
+				sameSeries(t, "cpu:"+tier, s, got.CPU[tier])
+			}
+		})
+	}
+}
+
+// TestFastForwardEquivalenceOnConsolidation proves equivalence on the
+// Chapter 6 case study in the regime fast-forward targets: a daemon-only
+// overnight window where the platform sits idle between SYNCHREP/INDEXBUILD
+// cycles. The fast-forward run must take real jumps (not trivially
+// degenerate into the plain loop) and still reproduce every output bit for
+// bit, including the daemons' own volume and duration series.
+func TestFastForwardEquivalenceOnConsolidation(t *testing.T) {
+	endHour := 4
+	if testing.Short() {
+		endHour = 3
+	}
+	run := func(eng core.Engine, noFF bool) *CaseStudy {
+		cs, err := NewConsolidation(CaseConfig{
+			Step: 0.05, Seed: 7, Scale: 0.25,
+			StartHour: 2, EndHour: endHour,
+			DisableClients: true, Engine: eng,
+			NoFastForward: noFF,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs.Run()
+		cs.Sim.Shutdown()
+		return cs
+	}
+	for _, tc := range ffEngines() {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := run(tc.mk(), true)
+			got := run(tc.mk(), false)
+			if j, skipped := ref.Sim.FastForwardStats(); j != 0 || skipped != 0 {
+				t.Fatalf("plain loop took %d jumps (%d ticks)", j, skipped)
+			}
+			jumps, skipped := got.Sim.FastForwardStats()
+			if skipped < 1000 {
+				t.Errorf("fast-forward run skipped only %d ticks in %d jumps; the overnight window should jump heavily", skipped, jumps)
+			}
+			if r, g := ref.Sim.CompletedOps(), got.Sim.CompletedOps(); r != g {
+				t.Errorf("completed ops: %d vs %d", r, g)
+			}
+			sameResponses(t, ref.Sim.Responses, got.Sim.Responses)
+			sameCollector(t, ref.Sim.Collector, got.Sim.Collector)
+			for _, master := range ref.Masters {
+				sameSeries(t, "sync-durations", &ref.Sync[master].Durations, &got.Sync[master].Durations)
+				sameSeries(t, "idx-durations", &ref.Idx[master].Durations, &got.Idx[master].Durations)
+				sameSeries(t, "idx-backlog", &ref.Idx[master].BacklogMB, &got.Idx[master].BacklogMB)
+				for dc, s := range ref.Sync[master].PullMB {
+					sameSeries(t, "pull:"+dc, s, got.Sync[master].PullMB[dc])
+				}
+				for dc, s := range ref.Sync[master].PushMB {
+					sameSeries(t, "push:"+dc, s, got.Sync[master].PushMB[dc])
+				}
+			}
+		})
+	}
+}

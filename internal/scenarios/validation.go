@@ -73,6 +73,9 @@ type ValidationConfig struct {
 	RunFor    float64
 	// Steady-state window for Table 5.2 statistics; defaults [5, 34] min.
 	SteadyStart, SteadyEnd float64
+	// NoFastForward forces the plain tick-by-tick loop (A/B comparison;
+	// results are bit-identical either way).
+	NoFastForward bool
 }
 
 func (c *ValidationConfig) defaults() error {
@@ -136,10 +139,11 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 		return nil, err
 	}
 	sim := core.NewSimulation(core.Config{
-		Step:         cfg.Step,
-		CollectEvery: int(math.Round(30 / cfg.Step)), // 30 s snapshot windows (§4.3.1 averages minute-scale windows)
-		Seed:         cfg.Seed + uint64(cfg.Experiment),
-		Engine:       cfg.Engine,
+		Step:          cfg.Step,
+		CollectEvery:  int(math.Round(30 / cfg.Step)), // 30 s snapshot windows (§4.3.1 averages minute-scale windows)
+		Seed:          cfg.Seed + uint64(cfg.Experiment),
+		Engine:        cfg.Engine,
+		NoFastForward: cfg.NoFastForward,
 	})
 	defer sim.Shutdown()
 	inf, err := topology.Build(sim, ValidationInfraSpec())

@@ -50,6 +50,18 @@ func (c *Clock) Advance() Tick {
 	return c.now
 }
 
+// AdvanceBy moves the clock forward n whole ticks in one jump — the
+// fast-forward primitive of the event-horizon time loop — and returns the
+// new tick. It panics on n < 1: a loop that advances by nothing (or
+// backwards) is a scheduling bug, never a quiet no-op.
+func (c *Clock) AdvanceBy(n Tick) Tick {
+	if n < 1 {
+		panic(fmt.Sprintf("simtime: AdvanceBy(%d); jumps must cover at least one tick", n))
+	}
+	c.now += n
+	return c.now
+}
+
 // Reset rewinds the clock to tick zero.
 func (c *Clock) Reset() { c.now = 0 }
 
@@ -64,6 +76,32 @@ func (c *Clock) TicksIn(d Seconds) Tick {
 		t++
 	}
 	return t
+}
+
+// WholeTicksBefore returns the largest k such that k whole ticks elapse in
+// strictly less than d seconds (k*step < d), i.e. the number of ticks the
+// clock can jump while still landing before the instant d seconds away.
+// Non-positive and sub-step durations yield 0. The float division is
+// corrected in both directions so exact multiples land on k = d/step - 1
+// and near-boundary values resolve to the true strict inequality.
+func (c *Clock) WholeTicksBefore(d Seconds) Tick {
+	if d <= c.step {
+		return 0
+	}
+	// Durations beyond any representable run (including +Inf) saturate:
+	// converting them to Tick would be implementation-dependent. Callers
+	// cap jumps with their own bounds well below this.
+	if d/c.step >= 1<<62 {
+		return 1 << 62
+	}
+	k := Tick(d / c.step)
+	for k > 0 && Seconds(k)*c.step >= d {
+		k--
+	}
+	for Seconds(k+1)*c.step < d {
+		k++
+	}
+	return k
 }
 
 // SecondsAt returns the simulated time in seconds at tick t.

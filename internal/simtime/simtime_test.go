@@ -58,6 +58,112 @@ func TestTicksInRoundsUp(t *testing.T) {
 	}
 }
 
+// TestTicksInTable pins TicksIn's rounding across the edge cases the
+// event-horizon loop depends on: exact multiples, sub-step durations,
+// zero/negative inputs and float-epsilon boundaries.
+func TestTicksInTable(t *testing.T) {
+	c := NewClock(0.05)
+	cases := []struct {
+		name string
+		d    Seconds
+		want Tick
+	}{
+		{"zero", 0, 0},
+		{"negative", -3, 0},
+		{"sub-step", 0.01, 1},
+		{"exact-one-step", 0.05, 1},
+		{"exact-multiple", 0.25, 5},
+		{"just-over-multiple", 0.25 + 1e-9, 6},
+		{"just-under-multiple", 0.25 - 1e-9, 5},
+		{"large-exact", 3600, 72000},
+		{"epsilon", 1e-12, 1},
+	}
+	for _, tc := range cases {
+		if got := c.TicksIn(tc.d); got != tc.want {
+			t.Errorf("%s: TicksIn(%v) = %d, want %d", tc.name, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestAdvanceBy(t *testing.T) {
+	c := NewClock(0.05)
+	if got := c.AdvanceBy(1); got != 1 {
+		t.Fatalf("AdvanceBy(1) = %d, want 1", got)
+	}
+	if got := c.AdvanceBy(1199); got != 1200 {
+		t.Fatalf("AdvanceBy(1199) = %d, want 1200", got)
+	}
+	if got := c.NowSeconds(); got != 60 {
+		t.Errorf("NowSeconds() after jump = %v, want 60", got)
+	}
+	// A jump must land on exactly the tick arithmetic Advance produces.
+	a, b := NewClock(0.05), NewClock(0.05)
+	a.AdvanceBy(7)
+	for i := 0; i < 7; i++ {
+		b.Advance()
+	}
+	if a.Now() != b.Now() || a.NowSeconds() != b.NowSeconds() {
+		t.Errorf("AdvanceBy(7) = (%d, %v), Advance x7 = (%d, %v)",
+			a.Now(), a.NowSeconds(), b.Now(), b.NowSeconds())
+	}
+	for _, n := range []Tick{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AdvanceBy(%d) did not panic", n)
+				}
+			}()
+			c.AdvanceBy(n)
+		}()
+	}
+}
+
+// TestWholeTicksBefore pins the strict-inequality contract of the jump
+// sizing primitive: the returned k whole ticks always elapse in strictly
+// less than d seconds, and k+1 would not.
+func TestWholeTicksBefore(t *testing.T) {
+	c := NewClock(0.05)
+	cases := []struct {
+		name string
+		d    Seconds
+		want Tick
+	}{
+		{"zero", 0, 0},
+		{"negative", -1, 0},
+		{"sub-step", 0.01, 0},
+		{"exact-one-step", 0.05, 0},
+		{"between-steps", 0.07, 1},
+		{"exact-multiple-excluded", 0.25, 4},
+		{"just-over-multiple", 0.25 + 1e-9, 5},
+		{"just-under-multiple", 0.25 - 1e-9, 4},
+		{"one-hour", 3600, 71999},
+		{"infinite", math.Inf(1), 1 << 62},
+		{"huge-finite-saturates", 1e300, 1 << 62},
+	}
+	for _, tc := range cases {
+		if got := c.WholeTicksBefore(tc.d); got != tc.want {
+			t.Errorf("%s: WholeTicksBefore(%v) = %d, want %d", tc.name, tc.d, got, tc.want)
+		}
+	}
+}
+
+// Property: WholeTicksBefore satisfies k*step < d <= (k+1)*step in the
+// exact float arithmetic the clock itself uses.
+func TestWholeTicksBeforeStrict(t *testing.T) {
+	c := NewClock(0.005)
+	f := func(us uint32) bool {
+		d := Seconds(us) / 1e6
+		if d <= c.Step() {
+			return c.WholeTicksBefore(d) == 0
+		}
+		k := c.WholeTicksBefore(d)
+		return c.SecondsAt(k) < d && c.SecondsAt(k+1) >= d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestTickAtFloors(t *testing.T) {
 	c := NewClock(0.5)
 	if got := c.TickAt(1.2); got != 2 {

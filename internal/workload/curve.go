@@ -30,6 +30,31 @@ func (c Curve) At(seconds float64) float64 {
 	return c[lo]*(1-frac) + c[hi]*frac
 }
 
+// NextPositive returns the earliest instant at or after t from which the
+// curve stops being identically zero: t itself when the segment containing
+// t has a positive endpoint (the value is positive at t or immediately
+// after), otherwise the start of the first later hour segment with a
+// positive endpoint, or +Inf for the all-zero curve. The result is
+// conservative for fast-forward scheduling: the curve is guaranteed zero at
+// every instant strictly before it, so skipped workload polls in that
+// stretch are no-ops.
+func (c Curve) NextPositive(t float64) float64 {
+	const day = 24 * 3600
+	base := math.Floor(t/day) * day
+	hour := int((t - base) / 3600) // 0..23
+	if c[hour%24] > 0 || c[(hour+1)%24] > 0 {
+		return t
+	}
+	for i := 1; i <= 24; i++ {
+		lo := (hour + i) % 24
+		hi := (lo + 1) % 24
+		if c[lo] > 0 || c[hi] > 0 {
+			return base + float64(hour+i)*3600
+		}
+	}
+	return math.Inf(1)
+}
+
 // Peak returns the maximum hourly value.
 func (c Curve) Peak() float64 {
 	p := c[0]

@@ -88,6 +88,18 @@ func (w *AppWorkload) Poll(s *core.Simulation, now float64) {
 	}
 }
 
+// NextPoll keeps per-tick polling while the population curve is positive —
+// every such poll draws from the Poisson stream and refreshes the loggedin
+// gauge — and, once the curve reaches zero (the gauge was just written to
+// zero and no arrivals can occur), skips ahead to the instant it can turn
+// positive again. Curves with a non-zero night floor simply never skip.
+func (w *AppWorkload) NextPoll(now float64) float64 {
+	if w.rng == nil || w.Users.At(now) > 0 {
+		return now
+	}
+	return w.Users.NextPositive(now)
+}
+
 func (w *AppWorkload) launch(s *core.Simulation) {
 	op := w.Ops[w.pickOp()]
 	local := w.Inf.DC(w.DC)

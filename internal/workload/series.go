@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cascade"
 	"repro/internal/core"
@@ -62,6 +63,19 @@ func (l *SeriesLauncher) Poll(s *core.Simulation, now float64) {
 		l.launch(s)
 		l.next += l.Interval
 	}
+}
+
+// NextPoll reports the next scheduled launch instant; polls before it do
+// nothing (the chained per-series operations advance through completion
+// callbacks, not polls). An exhausted launcher reports +Inf.
+func (l *SeriesLauncher) NextPoll(now float64) float64 {
+	if !l.initialized {
+		return now
+	}
+	if l.Until > 0 && l.next >= l.Until {
+		return math.Inf(1)
+	}
+	return l.next
 }
 
 func (l *SeriesLauncher) launch(s *core.Simulation) {

@@ -296,3 +296,74 @@ func TestPoissonSamplerMoments(t *testing.T) {
 		}
 	}
 }
+
+// TestCurveNextPositive pins the fast-forward scheduling contract: the
+// curve is guaranteed zero at every instant strictly before the returned
+// time.
+func TestCurveNextPositive(t *testing.T) {
+	var zero Curve
+	if got := zero.NextPositive(12345); !math.IsInf(got, 1) {
+		t.Errorf("all-zero curve: NextPositive = %v, want +Inf", got)
+	}
+	// Business window 9-17 with a hard-zero night.
+	var c Curve
+	for h := 9; h < 17; h++ {
+		c[h] = 100
+	}
+	cases := []struct {
+		name string
+		t    float64
+		want float64
+	}{
+		{"inside-window", 10 * 3600, 10 * 3600},
+		{"segment-before-window", 8.5 * 3600, 8.5 * 3600}, // c[9]>0: ramps up within [8,9)
+		{"deep-night", 2 * 3600, 8 * 3600},
+		{"after-window-wraps", 20 * 3600, (24 + 8) * 3600},
+		{"next-day", (24 + 2) * 3600, (24 + 8) * 3600},
+	}
+	for _, tc := range cases {
+		if got := c.NextPositive(tc.t); got != tc.want {
+			t.Errorf("%s: NextPositive(%v) = %v, want %v", tc.name, tc.t, got, tc.want)
+		}
+		// Contract check: zero everywhere strictly before the returned time.
+		got := c.NextPositive(tc.t)
+		if math.IsInf(got, 1) {
+			continue
+		}
+		for x := tc.t; x < got; x += 300 {
+			if c.At(x) != 0 {
+				t.Errorf("%s: curve positive at %v, before NextPositive=%v", tc.name, x, got)
+				break
+			}
+		}
+	}
+}
+
+// TestSeriesLauncherNextPoll checks the launcher reports its schedule:
+// the next launch while armed, +Inf once exhausted.
+func TestSeriesLauncherNextPoll(t *testing.T) {
+	sim, inf := miniInfra(t, 1)
+	na := inf.DC("NA")
+	l := &SeriesLauncher{
+		Series:     Series{Name: "s", Ops: []cascade.Op{quickOp("OP1", 5e8)}},
+		Interval:   30,
+		FirstAt:    5,
+		Until:      40,
+		NewBinding: func() *cascade.Binding { return cascade.NewBinding(inf, na, na) },
+	}
+	if got := l.NextPoll(0); got != 0 {
+		t.Errorf("uninitialized NextPoll(0) = %v, want 0 (poll every tick)", got)
+	}
+	l.Poll(sim, 0)
+	if got := l.NextPoll(0); got != 5 {
+		t.Errorf("NextPoll before first launch = %v, want 5", got)
+	}
+	l.Poll(sim, 5)
+	if got := l.NextPoll(5); got != 35 {
+		t.Errorf("NextPoll after first launch = %v, want 35", got)
+	}
+	l.Poll(sim, 35)
+	if got := l.NextPoll(35); !math.IsInf(got, 1) {
+		t.Errorf("NextPoll after Until = %v, want +Inf", got)
+	}
+}

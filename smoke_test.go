@@ -1,0 +1,93 @@
+// Compile-and-run smoke tests for the examples and cmd binaries, so the
+// user-facing entry points cannot rot silently: every binary is built with
+// the current module and the fast ones are executed end to end (the cmd
+// binaries via their -short flag).
+package gdisim
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildPackages compiles the given package paths into dir and returns the
+// binary paths keyed by package name.
+func buildPackages(t *testing.T, dir string, pkgs []string) map[string]string {
+	t.Helper()
+	bins := make(map[string]string, len(pkgs))
+	for _, pkg := range pkgs {
+		name := pkg[strings.LastIndex(pkg, "/")+1:]
+		bin := dir + "/" + name
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+		bins[name] = bin
+	}
+	return bins
+}
+
+// runBinary executes a built binary with args and a generous timeout,
+// failing the test on a non-zero exit.
+func runBinary(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+// TestExamplesSmoke compiles every example and runs the quickstart end to
+// end, checking it reaches its final report line.
+func TestExamplesSmoke(t *testing.T) {
+	dir := t.TempDir()
+	bins := buildPackages(t, dir, []string{
+		"./examples/quickstart",
+		"./examples/bottleneck",
+		"./examples/capacity",
+		"./examples/whatif",
+	})
+	out := runBinary(t, bins["quickstart"])
+	for _, want := range []string{"isolated REPORT duration", "app tier CPU", "completions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCommandsSmoke compiles every cmd binary and runs each in its -short
+// mode, checking the headline artifact of each report appears.
+func TestCommandsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	bins := buildPackages(t, dir, []string{
+		"./cmd/validate",
+		"./cmd/consolidate",
+		"./cmd/multimaster",
+		"./cmd/gdisim",
+	})
+	cases := []struct {
+		bin  string
+		args []string
+		want string
+	}{
+		{"validate", []string{"-short"}, "Table 5.2"},
+		{"consolidate", []string{"-short"}, "Table 6.1"},
+		{"multimaster", []string{"-short"}, "Table 7.3"},
+		{"gdisim", []string{"-short"}, "speedup"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.bin, func(t *testing.T) {
+			t.Parallel()
+			out := runBinary(t, bins[tc.bin], tc.args...)
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("%s %v output missing %q:\n%s", tc.bin, tc.args, tc.want, out)
+			}
+		})
+	}
+}
