@@ -410,6 +410,38 @@ func BenchmarkIdlePlatform(b *testing.B) {
 	b.Run("tick-by-tick", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkDayNightClients runs the day-night client scenario — the
+// validation platform under a 24 h business-day curve with a 5% night
+// floor at the default 10 ms step — in the two loop configurations the
+// event-calendar PR contrasts: the full loop (indexed calendar + thinned
+// arrivals) against the PR 2 loop (scan-based jump sizing, per-tick
+// Poisson draws). The positive night floor vetoes every jump in the PR 2
+// loop, so it ticks through all 8.64M steps; thinning turns the night
+// into sampled arrival gaps the calendar loop jumps across. Results are
+// distribution-identical (TestThinnedArrivalEquivalence); the wall-clock
+// ratio is the headline (>=3x).
+func BenchmarkDayNightClients(b *testing.B) {
+	run := func(b *testing.B, noCal, noThin bool) {
+		b.Helper()
+		b.ReportAllocs()
+		var res *scenarios.DayNightResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = scenarios.RunDayNight(scenarios.DayNightConfig{
+				Seed: 7, NoCalendar: noCal, NoThinning: noThin,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.CompletedOps), "ops")
+		b.ReportMetric(float64(res.Jumps), "jumps")
+		b.ReportMetric(float64(res.SkippedTicks), "skipped-ticks")
+	}
+	b.Run("calendar-thinned", func(b *testing.B) { run(b, false, false) })
+	b.Run("pr2-loop", func(b *testing.B) { run(b, true, true) })
+}
+
 // Microbenchmarks of the queueing substrate.
 
 func BenchmarkFCFSQueueStep(b *testing.B) {

@@ -10,10 +10,14 @@
 // message cascades whose messages carry hardware-agnostic cost arrays
 // R = (CPU cycles, network bytes, memory bytes, disk bytes). A discrete
 // time loop drives the agents with in-flight work (active-set scheduling)
-// and fast-forwards the clock across provably quiet stretches (the
-// event-horizon loop, see DESIGN.md) — both bit-identical to the plain
-// tick-by-tick loop — parallelized with either the classic Scatter-Gather
-// mechanism or the H-Dispatch pull model of Chapter 4.
+// and fast-forwards the clock across provably quiet stretches, with jump
+// sizing and poll scheduling read off an indexed event calendar in
+// O(changed agents) per iteration (see DESIGN.md) — all bit-identical to
+// the plain tick-by-tick loop — parallelized with either the classic
+// Scatter-Gather mechanism or the H-Dispatch pull model of Chapter 4.
+// Sparse client workloads sample thinned inter-arrival gaps instead of
+// per-tick Poisson draws, so low-traffic hours fast-forward too
+// (distribution-identical; SimConfig.NoThinning restores bit-identity).
 //
 // # Quick start
 //
@@ -274,6 +278,10 @@ type (
 	CaseConfig = scenarios.CaseConfig
 	// CaseStudy is a built consolidation or multiple-master run.
 	CaseStudy = scenarios.CaseStudy
+	// DayNightConfig parameterizes the 24 h day-night client scenario.
+	DayNightConfig = scenarios.DayNightConfig
+	// DayNightResult gathers the day-night scenario outputs.
+	DayNightResult = scenarios.DayNightResult
 )
 
 // RunValidation executes one Chapter 5 validation experiment (0-2).
@@ -289,4 +297,11 @@ func NewConsolidation(cfg CaseConfig) (*CaseStudy, error) {
 // NewMultiMaster builds the Chapter 7 multiple-master case study.
 func NewMultiMaster(cfg CaseConfig) (*CaseStudy, error) {
 	return scenarios.NewMultiMaster(cfg)
+}
+
+// RunDayNight executes the day-night client scenario: the validation
+// platform under a 24 h business-day curve with a night floor — the
+// regime the event calendar and thinned arrivals accelerate.
+func RunDayNight(cfg DayNightConfig) (*DayNightResult, error) {
+	return scenarios.RunDayNight(cfg)
 }

@@ -99,6 +99,7 @@ type AgentBase struct {
 	sim    *Simulation // set by AddAgent; nil until registered
 	active bool        // currently a member of the simulation's active set
 	pinned bool        // never deactivated (swept every tick)
+	dirty  bool        // horizon invalidated; queued for a calendar rekey
 }
 
 // InitAgent sets the agent identity. It panics when called twice: an agent
@@ -124,17 +125,39 @@ func (b *AgentBase) Name() string { return b.name }
 func (b *AgentBase) Base() *AgentBase { return b }
 
 // MarkActive joins the simulation's active set, making the agent eligible
-// for the next sweep. It is O(1), idempotent, and must only be called from
+// for the next sweep, and invalidates the agent's event-calendar entry —
+// every activation is also an invalidation: new work may move the agent's
+// next event earlier. It is O(1), idempotent, and must only be called from
 // sequential phases (Enqueue during source polls or interaction callbacks).
-// Every hardware Enqueue calls it; flow routing calls it as well, so custom
-// agents driven through Stage.Queue need no explicit call.
+// Hardware queues forward it through their Notify hooks; flow routing calls
+// it as well, so custom agents driven through Stage.Queue need no explicit
+// call.
 func (b *AgentBase) MarkActive() {
-	if b.active || b.sim == nil {
+	if b.sim == nil {
 		return
 	}
-	b.active = true
-	b.sim.activate(b.id)
+	if !b.active {
+		b.active = true
+		b.sim.activate(b.id)
+	}
+	if !b.dirty {
+		b.dirty = true
+		b.sim.invalidate(b.id)
+	}
 }
+
+// MarkDirty is the invalidation hook of the event calendar: it records that
+// the agent's state changed in a way that may move its next observable
+// event, so the simulation recomputes its horizon before the next jump
+// instead of trusting the cached calendar entry. Activation implies
+// invalidation, so MarkDirty and MarkActive are the same operation — the
+// two names exist because call sites mean different things: queues notify
+// transitions (dirty), sources and routers hand over work (active). Like
+// MarkActive it must only be called from sequential phases; state changes
+// inside the parallel Step phase need no hook, because they can only occur
+// at an agent's scheduled event tick, where the calendar rekeys the agent
+// anyway.
+func (b *AgentBase) MarkDirty() { b.MarkActive() }
 
 // Pin keeps the agent in the active set permanently: it is swept every tick
 // and never deactivated, restoring the pre-active-set full-sweep behavior

@@ -48,10 +48,24 @@ type Config struct {
 	// Engine parallelizes agent sweeps; nil selects SequentialEngine.
 	Engine Engine
 	// NoFastForward disables the event-horizon fast-forward and forces the
-	// plain tick-by-tick loop. Results are bit-identical either way — the
-	// equivalence tests enforce it — so the flag exists for A/B
-	// benchmarking and as a bisection aid, not as a safety valve.
+	// plain tick-by-tick loop: every source polled every tick, every jump
+	// length 1. Results are bit-identical either way — the equivalence
+	// tests enforce it — so the flag exists for A/B benchmarking and as a
+	// bisection aid, not as a safety valve. It implies NoCalendar.
 	NoFastForward bool
+	// NoCalendar disables the indexed event calendar and the poll
+	// scheduler, restoring the scan-based fast-forward loop that recomputes
+	// every source's NextPoll and every active agent's Horizon on each
+	// iteration. Results are bit-identical with the calendar on or off;
+	// the flag exists for A/B benchmarking the O(changed) scheduling win.
+	NoCalendar bool
+	// NoThinning disables exponential-gap arrival thinning in sources that
+	// support it (workload.AppWorkload), forcing per-tick Poisson draws.
+	// Unlike the loop flags this one changes the RNG draw sequence: with
+	// thinning on, results are distribution-identical to the per-tick loop
+	// (same arrival law), not bit-identical; NoThinning restores the
+	// bit-identity guarantee for client workloads.
+	NoThinning bool
 }
 
 // Simulation owns the discrete time loop and everything attached to it:
@@ -72,6 +86,13 @@ type Simulation struct {
 	active []AgentID
 	sweep  []Agent // scratch: the current tick's sorted active agents
 
+	// activeSorted and sweepStale let unchanged ticks skip the sort and the
+	// sweep re-slice: activation clears them (an append below the current
+	// tail also breaks sortedness), deactivation compaction preserves order
+	// but invalidates the materialized sweep.
+	activeSorted bool
+	sweepStale   bool
+
 	Collector *metrics.Collector
 	Responses *metrics.Responses
 
@@ -79,8 +100,26 @@ type Simulation struct {
 	rng          *rand.Rand
 
 	fastForward bool   // event-horizon jumps enabled (Config.NoFastForward off)
+	useCalendar bool   // indexed event calendar + poll scheduler (NoCalendar off)
+	thinning    bool   // sources may thin arrivals (Config.NoThinning off)
 	jumps       uint64 // fast-forward jumps taken
 	skipped     uint64 // whole ticks the jumps fast-forwarded across
+
+	// cal is the pending-event set: one entry per active agent, keyed by
+	// the absolute tick at which the agent may next act. dirty queues the
+	// agents whose cached key is invalid — newly enqueued-on, drained into,
+	// or past their event tick — for a horizon rekey; membership is gated
+	// by AgentBase.dirty so the per-iteration cost is O(changed agents).
+	cal   calendar
+	dirty []AgentID
+
+	// srcDue caches each source's due tick (first tick whose Poll may have
+	// an observable effect); srcMin is their minimum and srcDormant counts
+	// the sources reporting +Inf, which are re-consulted every iteration
+	// because a completion callback may re-arm them off-schedule.
+	srcDue     []simtime.Tick
+	srcMin     simtime.Tick
+	srcDormant int
 
 	gaugeIdx  map[string]Gauge
 	gaugeVals []float64
@@ -113,6 +152,10 @@ func NewSimulation(cfg Config) *Simulation {
 		rng:          rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
 		gaugeIdx:     make(map[string]Gauge),
 		fastForward:  !cfg.NoFastForward,
+		useCalendar:  !cfg.NoCalendar && !cfg.NoFastForward,
+		thinning:     !cfg.NoThinning,
+		activeSorted: true,
+		srcMin:       neverTick,
 	}
 }
 
@@ -122,6 +165,12 @@ func (s *Simulation) Clock() *simtime.Clock { return s.clock }
 // RNG returns the simulation's deterministic random stream. It must only be
 // used from sequential phases (sources, expansion, completion callbacks).
 func (s *Simulation) RNG() *rand.Rand { return s.rng }
+
+// Thinning reports whether arrival thinning is enabled (Config.NoThinning
+// off). Sources that can trade per-tick draws for sampled inter-arrival
+// gaps (workload.AppWorkload) consult it so one simulation-level flag
+// restores the bit-identity guarantee.
+func (s *Simulation) Thinning() bool { return s.thinning }
 
 // NextAgentID reserves the next agent identifier.
 func (s *Simulation) NextAgentID() AgentID { return AgentID(len(s.agents)) }
@@ -133,6 +182,7 @@ func (s *Simulation) AddAgent(a Agent) {
 		panic(fmt.Sprintf("core: agent %q registered with ID %d, want %d", a.Name(), got, want))
 	}
 	s.agents = append(s.agents, a)
+	s.cal.grow(len(s.agents))
 	b := a.Base()
 	b.sim = s
 	if b.pinned || !a.Idle() {
@@ -143,13 +193,39 @@ func (s *Simulation) AddAgent(a Agent) {
 
 // activate records an agent ID in the active set. Callers go through
 // AgentBase.MarkActive, which guarantees duplicate-free O(1) insertion.
-func (s *Simulation) activate(id AgentID) { s.active = append(s.active, id) }
+// An append below the current tail breaks sortedness; any append
+// invalidates the materialized sweep.
+func (s *Simulation) activate(id AgentID) {
+	if n := len(s.active); n > 0 && id < s.active[n-1] {
+		s.activeSorted = false
+	}
+	s.active = append(s.active, id)
+	s.sweepStale = true
+}
+
+// invalidate queues an agent for a calendar rekey. Callers go through
+// AgentBase.MarkActive/MarkDirty, which gate duplicates; it must only run
+// in sequential phases.
+func (s *Simulation) invalidate(id AgentID) {
+	if s.useCalendar {
+		s.dirty = append(s.dirty, id)
+	}
+}
 
 // ActiveAgents reports the current size of the active set.
 func (s *Simulation) ActiveAgents() int { return len(s.active) }
 
-// AddSource registers a work source polled every tick.
-func (s *Simulation) AddSource(src Source) { s.sources = append(s.sources, src) }
+// AddSource registers a work source. The scan loop polls it every tick;
+// the calendar loop polls it whenever its NextPoll schedule is due,
+// starting at the next tick boundary.
+func (s *Simulation) AddSource(src Source) {
+	s.sources = append(s.sources, src)
+	due := s.clock.Now()
+	s.srcDue = append(s.srcDue, due)
+	if due < s.srcMin {
+		s.srcMin = due
+	}
+}
 
 // StartOp launches an operation instance now. Must be called from a
 // sequential phase (a Source poll or a completion callback).
@@ -225,9 +301,15 @@ func (s *Simulation) tick(limit simtime.Tick) {
 	now := s.clock.NowSeconds()
 
 	// Phase 0 (sequential): sources inject new work for this tick,
-	// activating the agents they enqueue on.
-	for _, src := range s.sources {
-		src.Poll(s, now)
+	// activating the agents they enqueue on. The calendar loop polls only
+	// the sources whose schedule is due — skipped polls are no-ops by the
+	// NextPoll contract; the scan loop polls everything every tick.
+	if s.useCalendar {
+		s.pollDue(now)
+	} else {
+		for _, src := range s.sources {
+			src.Poll(s, now)
+		}
 	}
 
 	// Rebind after the polls: sources may register agents that are
@@ -239,16 +321,36 @@ func (s *Simulation) tick(limit simtime.Tick) {
 	}
 
 	// Materialize this tick's active agents in ascending ID order — the
-	// drain order contract that keeps every engine deterministic.
-	slices.Sort(s.active)
-	s.sweep = s.sweep[:0]
-	for _, id := range s.active {
-		s.sweep = append(s.sweep, s.agents[id])
+	// drain order contract that keeps every engine deterministic. Ticks
+	// with an unchanged active set skip both the sort and the re-slice:
+	// activation invalidates them, deactivation compaction preserves order
+	// but invalidates the materialized sweep.
+	if !s.activeSorted {
+		slices.Sort(s.active)
+		s.activeSorted = true
+		s.sweepStale = true
+	}
+	if s.sweepStale {
+		s.sweep = s.sweep[:0]
+		for _, id := range s.active {
+			s.sweep = append(s.sweep, s.agents[id])
+		}
+		s.sweepStale = false
+	}
+
+	// Fold this tick's invalidations — source enqueues, fresh
+	// registrations — into the calendar before reading its head.
+	if s.useCalendar {
+		s.rekeyDirty()
 	}
 
 	jump := simtime.Tick(1)
 	if s.fastForward && limit > s.clock.Now()+1 {
-		jump = s.quietTicks(limit)
+		if s.useCalendar {
+			jump = s.quietTicksCal(limit)
+		} else {
+			jump = s.quietTicks(limit)
+		}
 	}
 
 	// Phase 1 (parallel): time increment over the active agents only.
@@ -280,6 +382,13 @@ func (s *Simulation) tick(limit simtime.Tick) {
 
 	tick := s.clock.AdvanceBy(jump)
 
+	// Agents whose scheduled event tick has arrived may have acted during
+	// the sweep; pop them off the calendar and queue them for a rekey once
+	// the drain has settled their state.
+	if s.useCalendar {
+		s.popDue(tick)
+	}
+
 	// Phase 3 (sequential): interaction — completed tasks advance flows.
 	// Downstream agents activated here join s.active beyond this tick's
 	// sweep slice and are first served next tick (§4.3.3 timestamp rule).
@@ -298,9 +407,21 @@ func (s *Simulation) tick(limit simtime.Tick) {
 			kept = append(kept, s.active[i])
 		} else {
 			b.active = false
+			if s.useCalendar {
+				s.cal.remove(b.id)
+			}
 		}
 	}
+	if len(kept) != len(s.sweep) {
+		s.sweepStale = true
+	}
 	s.active = append(kept, s.active[len(s.sweep):]...)
+
+	// Rekey everything invalidated since the jump was sized: agents past
+	// their event tick, downstream agents enqueued during the drain.
+	if s.useCalendar {
+		s.rekeyDirty()
+	}
 
 	// Phase 2: measurement collection at snapshot boundaries.
 	if tick%s.collectEvery == 0 {
@@ -386,6 +507,152 @@ func (s *Simulation) quietTicks(limit simtime.Tick) simtime.Tick {
 		k = 1
 	}
 	return k
+}
+
+// pollDue runs the due sources' polls and refreshes their schedules. A
+// source is due when the current tick has reached its cached due tick; by
+// the NextPoll contract every poll strictly before that instant is a no-op,
+// so skipping it is exact. Dormant sources (+Inf schedules) are re-consulted
+// every iteration because only a completion callback can re-arm them — the
+// cost is one NextPoll call, and it preserves the pre-calendar pickup
+// timing. Iterations where nothing is due and nothing is dormant cost O(1).
+func (s *Simulation) pollDue(nowSec float64) {
+	now := s.clock.Now()
+	if s.srcMin > now && s.srcDormant == 0 {
+		return
+	}
+	n := len(s.sources) // sources added by a poll are first polled next tick
+	for i := 0; i < n; i++ {
+		switch due := s.srcDue[i]; {
+		case due <= now:
+			s.sources[i].Poll(s, nowSec)
+			s.srcDue[i] = s.srcDueTick(s.sources[i].NextPoll(nowSec), now)
+		case due == neverTick:
+			s.srcDue[i] = s.srcDueTick(s.sources[i].NextPoll(nowSec), now)
+		}
+	}
+	min, dormant := neverTick, 0
+	for _, due := range s.srcDue {
+		if due == neverTick {
+			dormant++
+		} else if due < min {
+			min = due
+		}
+	}
+	s.srcMin, s.srcDormant = min, dormant
+}
+
+// srcDueTick converts a NextPoll instant into the first tick whose poll may
+// matter: the first tick at or after p in the exact tick-time arithmetic
+// the loop uses for poll timestamps. A source reporting now or earlier
+// wants classic per-tick polling and is due again at the next tick; +Inf
+// (and schedules beyond any representable run) map to neverTick.
+func (s *Simulation) srcDueTick(p float64, now simtime.Tick) simtime.Tick {
+	if math.IsInf(p, 1) {
+		return neverTick
+	}
+	nowSec := s.clock.SecondsAt(now)
+	if p <= nowSec {
+		return now + 1
+	}
+	k := s.clock.WholeTicksBefore(p - nowSec)
+	if k >= 1<<62 {
+		return neverTick
+	}
+	n := now + k + 1
+	// Correct the float estimate in both directions: the due tick is the
+	// first tick landing at or after p, and every earlier tick must fall
+	// strictly before p (those are the polls a jump skips).
+	for n > now+1 && s.clock.SecondsAt(n-1) >= p {
+		n--
+	}
+	for s.clock.SecondsAt(n) < p {
+		n++
+	}
+	return n
+}
+
+// agentKey converts an agent horizon, observed at tick now, into the
+// calendar key: the first tick at which the agent may act. Jumps land
+// strictly before it, exactly reproducing the scan loop's per-iteration
+// bound (WholeTicksBefore of the guarded horizon).
+func (s *Simulation) agentKey(h float64, now simtime.Tick) simtime.Tick {
+	if math.IsInf(h, 1) {
+		return neverTick
+	}
+	return now + s.clock.WholeTicksBefore(h-ffGuard) + 1
+}
+
+// rekeyDirty recomputes the calendar entry of every agent whose horizon was
+// invalidated — enqueued on, drained into, past its event tick, or
+// deactivated — and clears the dirty set. This is the O(changed) core of
+// the calendar loop: only these agents pay a Horizon call per iteration.
+func (s *Simulation) rekeyDirty() {
+	if len(s.dirty) == 0 {
+		return
+	}
+	now := s.clock.Now()
+	for _, id := range s.dirty {
+		a := s.agents[id]
+		b := a.Base()
+		b.dirty = false
+		if !b.active {
+			s.cal.remove(id)
+			continue
+		}
+		s.cal.set(id, s.agentKey(a.Horizon(), now))
+	}
+	s.dirty = s.dirty[:0]
+}
+
+// popDue moves every agent whose scheduled event tick has arrived from the
+// calendar into the dirty set. Between invalidations an agent's state
+// evolves deterministically under Step, so its absolute event tick stays
+// valid however far the clock advanced — only agents at (or past, after a
+// forced single step) their key can have acted.
+func (s *Simulation) popDue(now simtime.Tick) {
+	for s.cal.len() > 0 && s.cal.minKey() <= now {
+		id := s.cal.popMin()
+		b := s.agents[id].Base()
+		if !b.dirty {
+			b.dirty = true
+			s.dirty = append(s.dirty, id)
+		}
+	}
+}
+
+// quietTicksCal is the calendar-indexed replacement for quietTicks: the
+// same jump bound — strictly before the earliest agent event, at or before
+// the earliest due poll, capped at the collector boundary and limit — read
+// off the calendar head and the cached source schedule in O(1) instead of
+// re-scanning every source and active agent.
+func (s *Simulation) quietTicksCal(limit simtime.Tick) simtime.Tick {
+	now := s.clock.Now()
+	max := limit - now
+	if b := s.collectEvery - now%s.collectEvery; b < max {
+		max = b
+	}
+	if max <= 1 {
+		return 1
+	}
+	// The jump may land exactly on the earliest due poll tick — that tick
+	// polls normally; all skipped ticks fall strictly before the schedule.
+	if s.srcMin != neverTick {
+		if k := s.srcMin - now; k < max {
+			max = k
+		}
+	}
+	// The earliest agent event tick itself is single-stepped by a later
+	// iteration: the jump lands strictly before it.
+	if h := s.cal.minKey(); h != neverTick {
+		if k := h - 1 - now; k < max {
+			max = k
+		}
+	}
+	if max < 1 {
+		return 1
+	}
+	return max
 }
 
 // FastForwardStats reports how many event-horizon jumps the loop has taken

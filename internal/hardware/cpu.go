@@ -63,7 +63,9 @@ func NewCPU(sim *core.Simulation, name string, spec CPUSpec) *CPU {
 	c := &CPU{spec: spec}
 	rate := spec.GHz * 1e9 * spec.HTFactor // cycles per second per core
 	for i := 0; i < spec.Sockets; i++ {
-		c.sockets = append(c.sockets, queueing.NewFCFS(spec.Cores, rate))
+		q := queueing.NewFCFS(spec.Cores, rate)
+		q.SetNotify(c.MarkDirty) // sockets only receive external enqueues
+		c.sockets = append(c.sockets, q)
 	}
 	c.InitAgent(sim.NextAgentID(), name)
 	sim.AddAgent(c)
@@ -73,9 +75,9 @@ func NewCPU(sim *core.Simulation, name string, spec CPUSpec) *CPU {
 // Spec returns the processor specification.
 func (c *CPU) Spec() CPUSpec { return c.spec }
 
-// Enqueue assigns the task to the next socket round-robin.
+// Enqueue assigns the task to the next socket round-robin. The socket's
+// notify hook forwards the activation/invalidation to the agent.
 func (c *CPU) Enqueue(t *queueing.Task) {
-	c.MarkActive()
 	c.sockets[c.rr].Enqueue(t)
 	c.rr = (c.rr + 1) % len(c.sockets)
 }

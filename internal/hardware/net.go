@@ -22,6 +22,7 @@ func NewNIC(sim *core.Simulation, name string, gbps float64) *NIC {
 	}
 	rate := gbps * 1e9 / 8 // bytes per second
 	n := &NIC{q: queueing.NewFCFS(1, rate), rate: rate}
+	n.q.SetNotify(n.MarkDirty)
 	n.InitAgent(sim.NextAgentID(), name)
 	sim.AddAgent(n)
 	return n
@@ -30,11 +31,9 @@ func NewNIC(sim *core.Simulation, name string, gbps float64) *NIC {
 // Rate returns the service rate in bytes/second.
 func (n *NIC) Rate() float64 { return n.rate }
 
-// Enqueue adds a transfer task (Demand in bytes).
-func (n *NIC) Enqueue(t *queueing.Task) {
-	n.MarkActive()
-	n.q.Enqueue(t)
-}
+// Enqueue adds a transfer task (Demand in bytes). The queue's notify hook
+// forwards the activation/invalidation to the agent.
+func (n *NIC) Enqueue(t *queueing.Task) { n.q.Enqueue(t) }
 
 // Step advances the queue.
 func (n *NIC) Step(dt float64) { n.q.Step(dt, n.BufferDone) }
@@ -66,6 +65,7 @@ func NewSwitch(sim *core.Simulation, name string, gbps float64) *Switch {
 	}
 	rate := gbps * 1e9 / 8
 	s := &Switch{q: queueing.NewFCFS(1, rate), rate: rate}
+	s.q.SetNotify(s.MarkDirty)
 	s.InitAgent(sim.NextAgentID(), name)
 	sim.AddAgent(s)
 	return s
@@ -74,11 +74,9 @@ func NewSwitch(sim *core.Simulation, name string, gbps float64) *Switch {
 // Rate returns the service rate in bytes/second.
 func (s *Switch) Rate() float64 { return s.rate }
 
-// Enqueue adds a forwarding task (Demand in bytes).
-func (s *Switch) Enqueue(t *queueing.Task) {
-	s.MarkActive()
-	s.q.Enqueue(t)
-}
+// Enqueue adds a forwarding task (Demand in bytes). The queue's notify
+// hook forwards the activation/invalidation to the agent.
+func (s *Switch) Enqueue(t *queueing.Task) { s.q.Enqueue(t) }
 
 // Step advances the queue.
 func (s *Switch) Step(dt float64) { s.q.Step(dt, s.BufferDone) }
@@ -137,6 +135,7 @@ func NewLink(sim *core.Simulation, name string, spec LinkSpec) *Link {
 		rate:     rate,
 		capShare: share,
 	}
+	l.q.SetNotify(l.MarkDirty)
 	l.InitAgent(sim.NextAgentID(), name)
 	sim.AddAgent(l)
 	return l
@@ -148,13 +147,13 @@ func (l *Link) Rate() float64 { return l.rate }
 // Latency returns the link latency in seconds.
 func (l *Link) Latency() float64 { return l.q.Latency() }
 
-// Enqueue adds a transfer (Demand in bytes). Enqueueing on a failed link
-// panics — routing must divert traffic to backup paths first.
+// Enqueue adds a transfer (Demand in bytes); the queue's notify hook
+// forwards the activation/invalidation to the agent. Enqueueing on a
+// failed link panics — routing must divert traffic to backup paths first.
 func (l *Link) Enqueue(t *queueing.Task) {
 	if l.failed {
 		panic(fmt.Sprintf("hardware: enqueue on failed link %s", l.Name()))
 	}
-	l.MarkActive()
 	l.q.Enqueue(t)
 }
 

@@ -214,6 +214,10 @@ func NewRAID(sim *core.Simulation, name string, spec RAIDSpec) *RAID {
 		dacc: queueing.NewFCFS(1, spec.CtrlGbps*1e9/8),
 		rng:  rand.New(rand.NewPCG(uint64(id)+1, 0x52414944)),
 	}
+	// The controller cache is the array's ingress: external enqueues (and
+	// only those — the fork-join feeds the per-disk queues internally,
+	// inside the parallel Step phase) forward the invalidation.
+	r.dacc.SetNotify(r.MarkDirty)
 	r.array = newDiskArray(spec.Disks, spec.Disk, uint64(id)+101, r.complete)
 	r.InitAgent(id, name)
 	sim.AddAgent(r)
@@ -224,9 +228,8 @@ func NewRAID(sim *core.Simulation, name string, spec RAIDSpec) *RAID {
 func (r *RAID) Spec() RAIDSpec { return r.spec }
 
 // Enqueue admits a storage request (Demand in bytes) at the array
-// controller cache.
+// controller cache, whose notify hook forwards the invalidation.
 func (r *RAID) Enqueue(t *queueing.Task) {
-	r.MarkActive()
 	r.inflight++
 	ext := &extReq{parent: t, demand: t.Demand}
 	r.dacc.Enqueue(&queueing.Task{ID: t.ID, Demand: t.Demand, Payload: ext})
@@ -347,6 +350,10 @@ func NewSAN(sim *core.Simulation, name string, spec SANSpec) *SAN {
 		fcal: queueing.NewFCFS(1, spec.FCALGbps*1e9/8),
 		rng:  rand.New(rand.NewPCG(uint64(id)+1, 0x53414e)),
 	}
+	// The FC switch is the SAN's ingress; the downstream queues (dacc,
+	// fcal, disks) are fed by internal handoffs inside the parallel Step
+	// phase and must not carry the hook.
+	s.fcsw.SetNotify(s.MarkDirty)
 	s.array = newDiskArray(spec.Disks, spec.Disk, uint64(id)+101, s.complete)
 	s.InitAgent(id, name)
 	sim.AddAgent(s)
@@ -356,9 +363,9 @@ func NewSAN(sim *core.Simulation, name string, spec SANSpec) *SAN {
 // Spec returns the SAN specification.
 func (s *SAN) Spec() SANSpec { return s.spec }
 
-// Enqueue admits a storage request (Demand in bytes) at the FC switch.
+// Enqueue admits a storage request (Demand in bytes) at the FC switch,
+// whose notify hook forwards the invalidation.
 func (s *SAN) Enqueue(t *queueing.Task) {
-	s.MarkActive()
 	s.inflight++
 	ext := &extReq{parent: t, demand: t.Demand}
 	s.fcsw.Enqueue(&queueing.Task{ID: t.ID, Demand: t.Demand, Payload: ext})

@@ -30,7 +30,20 @@ type FCFS struct {
 	busy     float64 // accumulated server-seconds of busy time
 	arrivals uint64
 	departs  uint64
+
+	notify func() // arrival-transition hook (see SetNotify)
 }
+
+// SetNotify installs a hook invoked on every Enqueue — the transition that
+// can move the queue's next event earlier. Owning agents forward it to
+// their event-calendar invalidation (core.AgentBase.MarkDirty), so work
+// handed to the queue invalidates the agent's cached horizon without the
+// agent wrapping every enqueue path. The hook runs synchronously inside
+// Enqueue: it must only be set on queues that receive work from sequential
+// simulation phases (ingress queues), never on queues fed by internal
+// handoffs inside the parallel Step phase — those transitions occur only at
+// scheduled event ticks, where the calendar rekeys the agent anyway.
+func (q *FCFS) SetNotify(fn func()) { q.notify = fn }
 
 // NewFCFS returns an FCFS queue with the given number of servers and
 // per-server service rate (units per second). It panics on non-positive
@@ -48,11 +61,14 @@ func (q *FCFS) Rate() float64 { return q.rate }
 // Servers returns the number of servers.
 func (q *FCFS) Servers() int { return q.servers }
 
-// Enqueue adds a task at the tail. Zero-demand tasks are legal and complete
-// on the next Step.
+// Enqueue adds a task at the tail, firing the notify hook. Zero-demand
+// tasks are legal and complete on the next Step.
 func (q *FCFS) Enqueue(t *Task) {
 	q.arrivals++
 	q.waiting.push(t)
+	if q.notify != nil {
+		q.notify()
+	}
 }
 
 // Waiting reports the number of queued (not in service) tasks.

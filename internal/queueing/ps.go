@@ -23,7 +23,14 @@ type PS struct {
 	work     float64 // accumulated transmitted units (for utilization)
 	arrivals uint64
 	departs  uint64
+
+	notify func() // arrival-transition hook (see SetNotify)
 }
+
+// SetNotify installs a hook invoked on every Enqueue, with the same
+// contract as FCFS.SetNotify: sequential-phase ingress queues only; the
+// owning agent forwards it to its event-calendar invalidation.
+func (q *PS) SetNotify(fn func()) { q.notify = fn }
 
 // NewPS returns a processor-sharing queue with aggregate rate (units/second),
 // connection limit k and constant latency in seconds. Panics on non-positive
@@ -44,11 +51,15 @@ func (q *PS) Latency() float64 { return q.latency }
 // MaxConnections returns the connection limit k.
 func (q *PS) MaxConnections() int { return q.k }
 
-// Enqueue adds a task. Its Delay field is initialized to the link latency.
+// Enqueue adds a task, firing the notify hook. Its Delay field is
+// initialized to the link latency.
 func (q *PS) Enqueue(t *Task) {
 	q.arrivals++
 	t.Delay = q.latency
 	q.waiting.push(t)
+	if q.notify != nil {
+		q.notify()
+	}
 }
 
 // Waiting reports tasks awaiting a connection slot.

@@ -31,9 +31,15 @@ type CaseConfig struct {
 	// studies); DisableBackground drops the SR/IB daemons.
 	DisableClients    bool
 	DisableBackground bool
-	// NoFastForward forces the plain tick-by-tick loop (A/B comparison;
-	// results are bit-identical either way).
+	// NoFastForward forces the plain tick-by-tick loop; NoCalendar keeps
+	// fast-forward but restores the scan-based jump sizing. Results are
+	// bit-identical in all three loop modes. NoThinning forces per-tick
+	// Poisson draws in the client workloads — the flag that restores
+	// bit-identity for client scenarios (thinning preserves the arrival
+	// law, not the RNG draw sequence).
 	NoFastForward bool
+	NoCalendar    bool
+	NoThinning    bool
 }
 
 func (c *CaseConfig) defaults() error {
@@ -108,6 +114,8 @@ func buildCaseStudy(name string, cfg CaseConfig, traits map[string]dcTraits,
 		Seed:          cfg.Seed,
 		Engine:        cfg.Engine,
 		NoFastForward: cfg.NoFastForward,
+		NoCalendar:    cfg.NoCalendar,
+		NoThinning:    cfg.NoThinning,
 	})
 	spec, err := caseInfraSpec(cfg, traits)
 	if err != nil {
@@ -292,7 +300,15 @@ func (cs *CaseStudy) attachWorkloads() error {
 			}
 			cs.Sim.AddSource(src)
 			cs.Sim.Collector.Register(cs.Sim.GaugeProbe(w.app + ":" + dc + ":active"))
-			cs.Sim.Collector.Register(cs.Sim.GaugeProbe(w.app + ":" + dc + ":loggedin"))
+			// The loggedin series samples the population curve directly at
+			// each snapshot instant: under thinning the workload is only
+			// polled at arrival instants, so its loggedin gauge goes stale
+			// between arrivals, while the curve is exact in every mode.
+			users, sim := src.Users, cs.Sim
+			cs.Sim.Collector.Register(metrics.Probe{
+				Key:    w.app + ":" + dc + ":loggedin",
+				Sample: func(float64) float64 { return users.At(sim.Clock().NowSeconds()) },
+			})
 		}
 	}
 	return nil

@@ -1,0 +1,134 @@
+package scenarios
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// DayNightConfig parameterizes the day-night client scenario: the
+// Chapter 5 validation infrastructure driven around the clock by one open
+// Poisson client workload whose population follows a business-day curve
+// with a night floor. The night floor is the regime the thinned sampler
+// targets — a positive curve that used to veto every fast-forward jump —
+// while the business window exercises the dense per-tick path, so one run
+// crosses both regimes twice.
+type DayNightConfig struct {
+	Step   float64 // time-loop granularity; default 10 ms
+	Seed   uint64
+	Engine core.Engine // nil selects the sequential engine
+	// Hours is the simulated span; default 24 (one full curve period).
+	Hours float64
+	// PeakUsers is the business-window population; default 60.
+	PeakUsers float64
+	// NightFloorFrac is the overnight population as a fraction of the
+	// peak; default 0.05 — the canonical 5% night floor.
+	NightFloorFrac float64
+	// OpsPerUserHour is the per-user operation rate; default 2.
+	OpsPerUserHour float64
+	// BizStart/BizEnd bound the business window in GMT hours; default
+	// [9, 17).
+	BizStart, BizEnd int
+	// Loop A/B switches, see CaseConfig.
+	NoFastForward bool
+	NoCalendar    bool
+	NoThinning    bool
+}
+
+func (c *DayNightConfig) defaults() error {
+	if c.Step <= 0 {
+		c.Step = 0.01
+	}
+	if c.Hours <= 0 {
+		c.Hours = 24
+	}
+	if c.PeakUsers <= 0 {
+		c.PeakUsers = 60
+	}
+	if c.NightFloorFrac == 0 {
+		c.NightFloorFrac = 0.05
+	}
+	if c.NightFloorFrac < 0 || c.NightFloorFrac > 1 {
+		return fmt.Errorf("scenarios: night floor fraction %v out of [0,1]", c.NightFloorFrac)
+	}
+	if c.OpsPerUserHour <= 0 {
+		c.OpsPerUserHour = 2
+	}
+	if c.BizStart == 0 && c.BizEnd == 0 {
+		c.BizStart, c.BizEnd = 9, 17
+	}
+	return nil
+}
+
+// DayNightResult gathers the outputs the equivalence and benchmark
+// harnesses compare.
+type DayNightResult struct {
+	Config       DayNightConfig
+	Sim          *core.Simulation
+	Users        workload.Curve
+	CompletedOps uint64
+	Responses    *metrics.Responses
+	// Jumps/SkippedTicks are the run's fast-forward statistics.
+	Jumps, SkippedTicks uint64
+}
+
+// RunDayNight executes the day-night client scenario end to end.
+func RunDayNight(cfg DayNightConfig) (*DayNightResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	sim := core.NewSimulation(core.Config{
+		Step:          cfg.Step,
+		CollectEvery:  int(math.Round(60 / cfg.Step)), // 1-minute snapshots
+		Seed:          cfg.Seed,
+		Engine:        cfg.Engine,
+		NoFastForward: cfg.NoFastForward,
+		NoCalendar:    cfg.NoCalendar,
+		NoThinning:    cfg.NoThinning,
+	})
+	defer sim.Shutdown()
+	inf, err := topology.Build(sim, ValidationInfraSpec())
+	if err != nil {
+		return nil, err
+	}
+	inf.RegisterProbes(sim.Collector)
+
+	na := inf.DC("NA")
+	ops, err := apps.CalibratedCADOps(inf, na, na, cfg.Step)
+	if err != nil {
+		return nil, err
+	}
+	users := workload.BusinessDay(cfg.PeakUsers, cfg.BizStart, cfg.BizEnd,
+		cfg.PeakUsers*cfg.NightFloorFrac)
+	sim.AddSource(&workload.AppWorkload{
+		App: "CAD", DC: "NA",
+		Users:          users,
+		OpsPerUserHour: cfg.OpsPerUserHour,
+		Ops:            ops,
+		APM:            workload.SingleMaster([]string{"NA"}, "NA"),
+		Inf:            inf,
+		GaugePrefix:    "CAD:NA",
+	})
+	sim.Collector.Register(sim.GaugeProbe("CAD:NA:active"))
+	sim.Collector.Register(metrics.Probe{
+		Key:    "CAD:NA:loggedin",
+		Sample: func(float64) float64 { return users.At(sim.Clock().NowSeconds()) },
+	})
+
+	sim.RunFor(cfg.Hours * 3600)
+
+	res := &DayNightResult{
+		Config:       cfg,
+		Sim:          sim,
+		Users:        users,
+		CompletedOps: sim.CompletedOps(),
+		Responses:    sim.Responses,
+	}
+	res.Jumps, res.SkippedTicks = sim.FastForwardStats()
+	return res, nil
+}

@@ -2,6 +2,8 @@ package scenarios
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/core"
@@ -64,21 +66,22 @@ func sameCollector(t *testing.T, ref, got *metrics.Collector) {
 // TestFastForwardEquivalenceOnValidation proves the event-horizon loop is a
 // pure performance change on the Chapter 5 validation scenario: completed
 // operations, every response record and every collector series must be
-// bit-identical with fast-forward on versus the plain tick-by-tick loop,
-// under all three engines. The scenario mixes dense activity (overlapping
-// series) with quiet stretches (between launches and the post-launch
-// drain), so both the jump and the veto paths are exercised.
+// bit-identical across the plain tick-by-tick loop, the scan-based
+// fast-forward loop (NoCalendar) and the calendar-indexed loop, under all
+// three engines. The scenario mixes dense activity (overlapping series)
+// with quiet stretches (between launches and the post-launch drain), so
+// the jump, the veto and the poll-skipping paths are all exercised.
 func TestFastForwardEquivalenceOnValidation(t *testing.T) {
 	launchFor, runFor := 120.0, 150.0
 	if testing.Short() {
 		launchFor, runFor = 45, 75
 	}
-	run := func(eng core.Engine, noFF bool) *ValidationResult {
+	run := func(eng core.Engine, noFF, noCal bool) *ValidationResult {
 		res, err := RunValidation(ValidationConfig{
 			Experiment: 1, Seed: 42, Engine: eng,
 			LaunchFor: launchFor, RunFor: runFor,
 			SteadyStart: 30, SteadyEnd: launchFor,
-			NoFastForward: noFF,
+			NoFastForward: noFF, NoCalendar: noCal,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -87,15 +90,20 @@ func TestFastForwardEquivalenceOnValidation(t *testing.T) {
 	}
 	for _, tc := range ffEngines() {
 		t.Run(tc.name, func(t *testing.T) {
-			ref := run(tc.mk(), true)
-			got := run(tc.mk(), false)
-			if ref.CompletedOps != got.CompletedOps {
-				t.Errorf("completed ops: %d vs %d", ref.CompletedOps, got.CompletedOps)
-			}
-			sameResponses(t, ref.Responses, got.Responses)
-			sameSeries(t, "clients", ref.Clients, got.Clients)
-			for tier, s := range ref.CPU {
-				sameSeries(t, "cpu:"+tier, s, got.CPU[tier])
+			ref := run(tc.mk(), true, false)
+			for _, leg := range []struct {
+				name  string
+				noCal bool
+			}{{"calendar", false}, {"scan", true}} {
+				got := run(tc.mk(), false, leg.noCal)
+				if ref.CompletedOps != got.CompletedOps {
+					t.Errorf("%s: completed ops: %d vs %d", leg.name, ref.CompletedOps, got.CompletedOps)
+				}
+				sameResponses(t, ref.Responses, got.Responses)
+				sameSeries(t, "clients", ref.Clients, got.Clients)
+				for tier, s := range ref.CPU {
+					sameSeries(t, "cpu:"+tier, s, got.CPU[tier])
+				}
 			}
 		})
 	}
@@ -107,6 +115,137 @@ func TestFastForwardEquivalenceOnValidation(t *testing.T) {
 // cycles. The fast-forward run must take real jumps (not trivially
 // degenerate into the plain loop) and still reproduce every output bit for
 // bit, including the daemons' own volume and duration series.
+// TestNoThinningBitIdentityWithClients proves that with thinning disabled
+// the calendar loop stays bit-identical to the plain loop even with open
+// Poisson client workloads attached: a night-floor hour of the Chapter 6
+// consolidation, where every AppWorkload is due each tick (positive curve
+// vetoes jumps) while the daemons' no-op polls are skipped wholesale.
+func TestNoThinningBitIdentityWithClients(t *testing.T) {
+	run := func(eng core.Engine, noFF bool) *CaseStudy {
+		cs, err := NewConsolidation(CaseConfig{
+			Step: 0.01, Seed: 11, Scale: 0.1,
+			StartHour: 3, EndHour: 4,
+			Engine: eng, NoFastForward: noFF, NoThinning: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs.Run()
+		cs.Sim.Shutdown()
+		return cs
+	}
+	for _, tc := range ffEngines() {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := run(tc.mk(), true)
+			got := run(tc.mk(), false)
+			if r, g := ref.Sim.CompletedOps(), got.Sim.CompletedOps(); r != g {
+				t.Errorf("completed ops: %d vs %d", r, g)
+			}
+			sameResponses(t, ref.Sim.Responses, got.Sim.Responses)
+			sameCollector(t, ref.Sim.Collector, got.Sim.Collector)
+		})
+	}
+}
+
+// TestDayNightLoopEquivalence pins the two guarantees of the day-night
+// scenario. With thinning on, the calendar loop and the scan loop consume
+// the identical RNG sequence, so their outputs must be bit-identical —
+// and both must jump heavily across the night floor, the regime the
+// thinned sampler unlocks. With thinning off, the calendar loop must be
+// bit-identical to the plain loop (per-tick draws, no jumps to take).
+func TestDayNightLoopEquivalence(t *testing.T) {
+	hours := 24.0
+	if testing.Short() {
+		hours = 6 // night floor plus the ramp into the business window
+	}
+	run := func(noFF, noCal, noThin bool) *DayNightResult {
+		res, err := RunDayNight(DayNightConfig{
+			Seed: 42, Hours: hours,
+			NoFastForward: noFF, NoCalendar: noCal, NoThinning: noThin,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	t.Run("thinned-calendar-vs-scan", func(t *testing.T) {
+		cal := run(false, false, false)
+		scan := run(false, true, false)
+		if cal.SkippedTicks < 100000 {
+			t.Errorf("calendar run skipped only %d ticks; the night floor should fast-forward", cal.SkippedTicks)
+		}
+		if cal.CompletedOps != scan.CompletedOps {
+			t.Errorf("completed ops: %d vs %d", cal.CompletedOps, scan.CompletedOps)
+		}
+		if cal.Jumps != scan.Jumps || cal.SkippedTicks != scan.SkippedTicks {
+			t.Errorf("jump stats diverge: %d/%d vs %d/%d",
+				cal.Jumps, cal.SkippedTicks, scan.Jumps, scan.SkippedTicks)
+		}
+		sameResponses(t, cal.Responses, scan.Responses)
+		sameCollector(t, cal.Sim.Collector, scan.Sim.Collector)
+	})
+	t.Run("unthinned-calendar-vs-plain", func(t *testing.T) {
+		plain := run(true, false, true)
+		cal := run(false, false, true)
+		if plain.CompletedOps != cal.CompletedOps {
+			t.Errorf("completed ops: %d vs %d", plain.CompletedOps, cal.CompletedOps)
+		}
+		sameResponses(t, plain.Responses, cal.Responses)
+		sameCollector(t, plain.Sim.Collector, cal.Sim.Collector)
+	})
+}
+
+// TestThinnedArrivalEquivalence is the statistical half of the acceptance
+// contract: thinning changes the RNG draw sequence but not the arrival
+// law, so completed-operation counts and response-time distributions on
+// the day-night scenario must agree with the per-tick loop within
+// sampling tolerance. Counts are compared at five sigma of their summed
+// Poisson variance; response distributions through their pooled mean and
+// 90th percentile.
+func TestThinnedArrivalEquivalence(t *testing.T) {
+	thin, err := RunDayNight(DayNightConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick, err := RunDayNight(DayNightConfig{Seed: 42, NoThinning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := float64(thin.CompletedOps), float64(tick.CompletedOps)
+	if diff, tol := math.Abs(a-b), 5*math.Sqrt(a+b); diff > tol {
+		t.Errorf("completed ops %v vs %v differ by %v > 5-sigma tolerance %v", a, b, diff, tol)
+	}
+	ta, ma, pa := pooledDurations(thin.Responses)
+	tb, mb, pb := pooledDurations(tick.Responses)
+	if ta < 500 || tb < 500 {
+		t.Fatalf("too few samples to compare distributions: %v vs %v", ta, tb)
+	}
+	if rel := math.Abs(ma-mb) / mb; rel > 0.10 {
+		t.Errorf("mean response %v vs %v: relative diff %.3f > 0.10", ma, mb, rel)
+	}
+	if rel := math.Abs(pa-pb) / pb; rel > 0.15 {
+		t.Errorf("p90 response %v vs %v: relative diff %.3f > 0.15", pa, pb, rel)
+	}
+}
+
+// pooledDurations flattens every response series into one population and
+// returns its size, mean and 90th percentile.
+func pooledDurations(r *metrics.Responses) (n int, mean, p90 float64) {
+	var all []float64
+	for _, k := range r.Keys() {
+		all = append(all, r.Series(k.Op, k.DC).V...)
+	}
+	if len(all) == 0 {
+		return 0, 0, 0
+	}
+	sum := 0.0
+	for _, v := range all {
+		sum += v
+	}
+	sort.Float64s(all)
+	return len(all), sum / float64(len(all)), all[len(all)*9/10]
+}
+
 func TestFastForwardEquivalenceOnConsolidation(t *testing.T) {
 	endHour := 4
 	if testing.Short() {

@@ -73,9 +73,11 @@ type ValidationConfig struct {
 	RunFor    float64
 	// Steady-state window for Table 5.2 statistics; defaults [5, 34] min.
 	SteadyStart, SteadyEnd float64
-	// NoFastForward forces the plain tick-by-tick loop (A/B comparison;
-	// results are bit-identical either way).
+	// NoFastForward forces the plain tick-by-tick loop; NoCalendar keeps
+	// fast-forward but restores the scan-based jump sizing (A/B
+	// comparisons; results are bit-identical in all three modes).
 	NoFastForward bool
+	NoCalendar    bool
 }
 
 func (c *ValidationConfig) defaults() error {
@@ -144,6 +146,7 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 		Seed:          cfg.Seed + uint64(cfg.Experiment),
 		Engine:        cfg.Engine,
 		NoFastForward: cfg.NoFastForward,
+		NoCalendar:    cfg.NoCalendar,
 	})
 	defer sim.Shutdown()
 	inf, err := topology.Build(sim, ValidationInfraSpec())

@@ -55,6 +55,30 @@ func (c Curve) NextPositive(t float64) float64 {
 	return math.Inf(1)
 }
 
+// Ceiling returns the maximum curve value over [t0, t1]. The curve is
+// piecewise linear between hour points, so the maximum over any span is
+// attained at the span's endpoints or at an interior hour point; spans of a
+// day or longer see the whole curve. Thinned arrival sampling uses it as
+// the dominating rate of a lookahead window (Lewis-Shedler thinning needs
+// rate(t) <= ceiling over the whole window). t1 < t0 yields At(t0).
+func (c Curve) Ceiling(t0, t1 float64) float64 {
+	p := c.At(t0)
+	if v := c.At(t1); v > p {
+		p = v
+	}
+	if t1-t0 >= 24*3600 {
+		return math.Max(p, c.Peak())
+	}
+	// Interior hour points: the first boundary strictly after t0 through
+	// the last strictly before t1.
+	for b := math.Floor(t0/3600)*3600 + 3600; b < t1; b += 3600 {
+		if v := c.At(b); v > p {
+			p = v
+		}
+	}
+	return p
+}
+
 // Peak returns the maximum hourly value.
 func (c Curve) Peak() float64 {
 	p := c[0]

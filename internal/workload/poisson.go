@@ -4,11 +4,19 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 
 	"repro/internal/cascade"
 	"repro/internal/core"
 	"repro/internal/topology"
 )
+
+// DefaultThinBelow is the per-tick expected-arrival threshold under which
+// AppWorkload trades per-tick Poisson draws for sampled inter-arrival gaps:
+// below 0.1 expected arrivals per tick, at least ~10 of every 11 polls draw
+// zero and exist only to consume randomness, so sampling the gap directly
+// is both cheaper and lets the time loop fast-forward to the next arrival.
+const DefaultThinBelow = 0.1
 
 // AppWorkload drives one software application at one data center with an
 // open Poisson arrival process: the launch rate at time t is
@@ -29,13 +37,29 @@ type AppWorkload struct {
 	APM            AccessMatrix
 	Inf            *topology.Infrastructure
 	// GaugePrefix, when set, maintains gauges "<prefix>:active" (operations
-	// in flight) and "<prefix>:loggedin" (population curve sample).
+	// in flight) and "<prefix>:loggedin" (population curve sample). The
+	// loggedin gauge is refreshed on due polls only; under thinning those
+	// are the arrival instants, so probes wanting the exact population
+	// between arrivals should sample Users.At directly.
 	GaugePrefix string
+	// ThinBelow overrides the per-tick expected-arrival threshold below
+	// which arrivals are sampled by exponential-gap thinning instead of
+	// per-tick Poisson draws. 0 selects DefaultThinBelow; a negative value
+	// disables thinning for this workload regardless of the simulation
+	// flag. Thinning preserves the arrival law (same nonhomogeneous
+	// Poisson process) but changes the RNG draw sequence, so results are
+	// distribution-identical, not bit-identical; core.Config.NoThinning
+	// restores bit-identity globally.
+	ThinBelow float64
 
 	cum      []float64
 	rng      *rand.Rand
 	active   core.Gauge // interned "<prefix>:active"
 	loggedin core.Gauge // interned "<prefix>:loggedin"
+
+	step      float64 // tick size, cached at initialize
+	thinBelow float64 // resolved threshold (0 when thinning disabled)
+	pending   float64 // next committed arrival instant; NaN in per-tick mode
 }
 
 // init prepares the cumulative mix distribution.
@@ -69,17 +93,52 @@ func (w *AppWorkload) initialize(s *core.Simulation) {
 		w.active = s.GaugeHandle(w.GaugePrefix + ":active")
 		w.loggedin = s.GaugeHandle(w.GaugePrefix + ":loggedin")
 	}
+	w.step = s.Clock().Step()
+	w.pending = math.NaN()
+	if s.Thinning() && w.ThinBelow >= 0 {
+		w.thinBelow = w.ThinBelow
+		if w.thinBelow == 0 {
+			w.thinBelow = DefaultThinBelow
+		}
+	}
 }
 
-// Poll launches a Poisson number of operations for this tick.
+// Poll launches the tick's arrivals. In the dense regime (expected
+// arrivals per tick at or above the thinning threshold) it draws a Poisson
+// count per tick; in the sparse regime it launches the committed thinned
+// arrivals that have come due and samples their successors, so quiet
+// stretches need no polls at all.
 func (w *AppWorkload) Poll(s *core.Simulation, now float64) {
 	if w.rng == nil {
 		w.initialize(s)
 	}
 	users := w.Users.At(now)
 	s.AddGaugeBy(w.loggedin, users-s.GaugeValueBy(w.loggedin))
-	lambda := users * w.OpsPerUserHour / 3600 * s.Clock().Step()
+	if !math.IsNaN(w.pending) {
+		// Thinned mode: every committed arrival at or before now launches,
+		// each successor sampled from its predecessor's instant so the
+		// arrival process is covered continuously.
+		for w.pending <= now {
+			at := w.pending
+			w.launch(s)
+			if w.Users.At(at)*w.OpsPerUserHour/3600*w.step >= w.thinBelow {
+				// The rate climbed back into the dense regime: resume
+				// per-tick draws from the next poll.
+				w.pending = math.NaN()
+				return
+			}
+			w.sampleNext(at)
+		}
+		return
+	}
+	lambda := users * w.OpsPerUserHour / 3600 * w.step
 	if lambda <= 0 {
+		return
+	}
+	if w.thinBelow > 0 && lambda < w.thinBelow {
+		// Sparse regime: hand over to the gap sampler from this instant;
+		// the per-tick draw is subsumed by the sampled gap.
+		w.sampleNext(now)
 		return
 	}
 	n := poisson(w.rng, lambda)
@@ -88,13 +147,58 @@ func (w *AppWorkload) Poll(s *core.Simulation, now float64) {
 	}
 }
 
-// NextPoll keeps per-tick polling while the population curve is positive —
-// every such poll draws from the Poisson stream and refreshes the loggedin
-// gauge — and, once the curve reaches zero (the gauge was just written to
-// zero and no arrivals can occur), skips ahead to the instant it can turn
-// positive again. Curves with a non-zero night floor simply never skip.
+// sampleNext samples the next arrival instant strictly after from by
+// exponential-gap thinning (Lewis & Shedler): candidate points arrive at
+// the curve's ceiling rate over a lookahead window bounded by the next hour
+// point — the curve is linear inside it, so the ceiling is exact and tight
+// — and each candidate is accepted with probability rate(t)/ceiling, which
+// reproduces the nonhomogeneous Poisson law exactly. A candidate past the
+// window restarts at the boundary (the exponential's memorylessness makes
+// the restart exact); hard-zero stretches are skipped via NextPositive, and
+// an all-zero curve parks the workload at +Inf.
+func (w *AppWorkload) sampleNext(from float64) {
+	perUser := w.OpsPerUserHour / 3600
+	t := from
+	for {
+		if next := w.Users.NextPositive(t); next > t {
+			if math.IsInf(next, 1) {
+				w.pending = next
+				return
+			}
+			t = next
+		}
+		winEnd := math.Floor(t/3600)*3600 + 3600
+		ceil := w.Users.Ceiling(t, winEnd) * perUser
+		if ceil <= 0 {
+			t = winEnd
+			continue
+		}
+		t += w.rng.ExpFloat64() / ceil
+		if t >= winEnd {
+			t = winEnd
+			continue
+		}
+		if w.rng.Float64()*ceil < w.Users.At(t)*perUser {
+			w.pending = t
+			return
+		}
+	}
+}
+
+// NextPoll reports the workload's real schedule. Per-tick (dense) mode
+// polls every tick while the population curve is positive and skips
+// hard-zero stretches via NextPositive; thinned (sparse) mode reports the
+// committed arrival instant, so a 5% night floor no longer pins the loop
+// to tick-by-tick stepping — the classic quiet-hour veto this sampler
+// removes.
 func (w *AppWorkload) NextPoll(now float64) float64 {
-	if w.rng == nil || w.Users.At(now) > 0 {
+	if w.rng == nil {
+		return now
+	}
+	if !math.IsNaN(w.pending) {
+		return w.pending
+	}
+	if w.Users.At(now) > 0 {
 		return now
 	}
 	return w.Users.NextPositive(now)
@@ -114,12 +218,13 @@ func (w *AppWorkload) launch(s *core.Simulation) {
 	s.StartOp(run)
 }
 
+// pickOp samples the operation mix: the first cumulative weight exceeding
+// the draw, by binary search — consolidation scenarios can carry large
+// mixes, and the search is bit-identical to the linear scan it replaced.
 func (w *AppWorkload) pickOp() int {
 	u := w.rng.Float64()
-	for i, c := range w.cum {
-		if u < c {
-			return i
-		}
+	if i := sort.Search(len(w.cum), func(i int) bool { return w.cum[i] > u }); i < len(w.cum) {
+		return i
 	}
 	return len(w.cum) - 1
 }

@@ -282,17 +282,153 @@ func TestPoissonLauncherMixWeights(t *testing.T) {
 	}
 }
 
+// TestPoissonSamplerMoments checks the sampler's first two moments with a
+// fixed seed: a Poisson distribution has variance equal to its mean, on
+// both sides of the sampler's normal-approximation switch at 30.
 func TestPoissonSamplerMoments(t *testing.T) {
 	rng := rand.New(rand.NewPCG(7, 8))
 	for _, mean := range []float64{0.1, 1, 5, 40} {
-		sum := 0.0
+		sum, sumSq := 0.0, 0.0
 		const n = 20000
 		for i := 0; i < n; i++ {
-			sum += float64(poisson(rng, mean))
+			x := float64(poisson(rng, mean))
+			sum += x
+			sumSq += x * x
 		}
 		got := sum / n
 		if math.Abs(got-mean)/mean > 0.05 {
 			t.Errorf("poisson(%v) empirical mean %v", mean, got)
+		}
+		variance := sumSq/n - got*got
+		// Var of the variance estimator for Poisson is ~(mean + 2 mean^2)/n;
+		// 5 sigma plus a small absolute floor for the tiny means.
+		tol := 5*math.Sqrt((mean+2*mean*mean)/n) + 0.01
+		if math.Abs(variance-mean) > tol {
+			t.Errorf("poisson(%v) empirical variance %v, want %v +- %v", mean, variance, mean, tol)
+		}
+	}
+}
+
+// TestThinnedArrivalsMatchPerTickDraws is the law-preservation check for
+// the exponential-gap sampler: over many simulated days of a business-day
+// curve, per-hour arrival counts from thinning must agree with per-tick
+// Poisson draws. Both are Poisson counts with the same per-hour mean, so
+// the difference normalized by sqrt(sum) is a z-score; five sigma bounds
+// it with a fixed seed.
+func TestThinnedArrivalsMatchPerTickDraws(t *testing.T) {
+	users := BusinessDay(800, 9, 17, 40)
+	const oph, step = 2.0, 0.5
+	const days = 20
+	const horizon = days * 24 * 3600.0
+
+	w := &AppWorkload{Users: users, OpsPerUserHour: oph}
+	w.rng = rand.New(rand.NewPCG(101, 202))
+	w.step = step
+	w.thinBelow = math.Inf(1) // stay in the sparse regime at every rate
+	var thinned [24]float64
+	for w.sampleNext(0); w.pending < horizon; w.sampleNext(w.pending) {
+		thinned[int(w.pending/3600)%24]++
+	}
+
+	rng := rand.New(rand.NewPCG(303, 404))
+	var perTick [24]float64
+	for tick := 0; float64(tick)*step < horizon; tick++ {
+		now := float64(tick) * step
+		if lambda := users.At(now) * oph / 3600 * step; lambda > 0 {
+			perTick[int(now/3600)%24] += float64(poisson(rng, lambda))
+		}
+	}
+
+	for h := 0; h < 24; h++ {
+		a, b := thinned[h], perTick[h]
+		if a+b == 0 {
+			t.Errorf("hour %d: no arrivals in either sampler", h)
+			continue
+		}
+		if z := (a - b) / math.Sqrt(a+b); math.Abs(z) > 5 {
+			t.Errorf("hour %d: thinned %v vs per-tick %v (z=%.1f)", h, a, b, z)
+		}
+	}
+}
+
+// TestCurveCeiling pins the dominating-rate helper the thinned sampler
+// relies on: the ceiling must bound the curve over the whole span (the
+// thinning acceptance ratio must never exceed 1) and be exact for spans
+// within one linear segment.
+func TestCurveCeiling(t *testing.T) {
+	c := BusinessDay(1000, 9, 17, 50)
+	// Within one segment the curve is linear: the ceiling is the larger
+	// endpoint, here inside the ramp-up hour [8, 9).
+	lo, hi := 8.25*3600, 8.75*3600
+	if got, want := c.Ceiling(lo, hi), math.Max(c.At(lo), c.At(hi)); got != want {
+		t.Errorf("segment ceiling = %v, want %v", got, want)
+	}
+	// Spanning the business window must see the plateau.
+	if got := c.Ceiling(7*3600, 12*3600); got != 1000 {
+		t.Errorf("window ceiling = %v, want 1000", got)
+	}
+	// A day or longer sees the whole curve.
+	if got := c.Ceiling(0, 48*3600); got != c.Peak() {
+		t.Errorf("two-day ceiling = %v, want peak %v", got, c.Peak())
+	}
+	// Degenerate span falls back to the point value.
+	if got := c.Ceiling(10*3600, 9*3600); got != c.At(10*3600) {
+		t.Errorf("inverted span ceiling = %v, want %v", got, c.At(10*3600))
+	}
+	// Domination property across random spans.
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 200; i++ {
+		t0 := rng.Float64() * 24 * 3600
+		t1 := t0 + rng.Float64()*6*3600
+		ceil := c.Ceiling(t0, t1)
+		for j := 0; j <= 20; j++ {
+			x := t0 + (t1-t0)*float64(j)/20
+			if v := c.At(x); v > ceil+1e-9 {
+				t.Fatalf("Ceiling(%v, %v) = %v < At(%v) = %v", t0, t1, ceil, x, v)
+			}
+		}
+	}
+}
+
+// TestCurveNextPositiveBoundaries covers the piecewise boundaries the
+// original test table skirts: instants exactly on hour points, a curve
+// positive at a single hour point (both adjacent segments ramp), and the
+// midnight wrap out of a trailing zero stretch.
+func TestCurveNextPositiveBoundaries(t *testing.T) {
+	var spike Curve
+	spike[10] = 5 // positive only at the 10:00 hour point
+	cases := []struct {
+		name string
+		t    float64
+		want float64
+	}{
+		// Inside [9,10) the segment ramps toward c[10]>0: positive
+		// immediately after t, so NextPositive must not skip.
+		{"ramp-into-spike", 9.5 * 3600, 9.5 * 3600},
+		{"exactly-at-segment-start", 9 * 3600, 9 * 3600},
+		{"exactly-at-spike", 10 * 3600, 10 * 3600},
+		// Inside [10,11) the segment ramps down from the spike: still
+		// positive until the 11:00 point.
+		{"ramp-out-of-spike", 10.5 * 3600, 10.5 * 3600},
+		// At exactly 11:00 the curve is zero and stays zero until the
+		// ramp-in segment starts next day at 9:00.
+		{"exactly-at-zero-start", 11 * 3600, (24 + 9) * 3600},
+		{"deep-zero-wraps", 20 * 3600, (24 + 9) * 3600},
+		{"second-day", (24 + 11) * 3600, (48 + 9) * 3600},
+	}
+	for _, tc := range cases {
+		if got := spike.NextPositive(tc.t); got != tc.want {
+			t.Errorf("%s: NextPositive(%v) = %v, want %v", tc.name, tc.t, got, tc.want)
+		}
+	}
+	// Contract sweep on a fine grid: the curve is zero at every instant
+	// strictly before the returned time.
+	for x := 0.0; x < 48*3600; x += 97 {
+		np := spike.NextPositive(x)
+		for probe := x; probe < np && probe < x+12*3600; probe += 61 {
+			if spike.At(probe) != 0 {
+				t.Fatalf("NextPositive(%v) = %v but curve positive at %v", x, np, probe)
+			}
 		}
 	}
 }
