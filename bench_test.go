@@ -410,6 +410,48 @@ func BenchmarkIdlePlatform(b *testing.B) {
 	b.Run("tick-by-tick", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkDenseBulk contrasts the bulk-dense loop against the lock-step
+// calendar loop on the regime it targets: the global-peak business hour of
+// the consolidation scenario, where every AppWorkload polls per tick and
+// the calendar loop — its scheduling already O(changed) — still paid an
+// O(active) Step sweep and an unconditional Drain over every active agent
+// on every iteration. The bulk-dense loop steps only the agents whose
+// event fires that tick (each lazy agent catches up in one horizon-bounded
+// bulk replay) and drains only the popped-due + notified set. Results are
+// bit-identical (TestBulkDenseEquivalence); the ns/op ratio is the
+// headline, recorded in BENCH_bulk.json.
+func BenchmarkDenseBulk(b *testing.B) {
+	run := func(b *testing.B, noBulk bool) {
+		b.Helper()
+		b.ReportAllocs()
+		var ops uint64
+		var active int
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cs, err := scenarios.NewConsolidation(scenarios.CaseConfig{
+				Step: 0.01, Seed: 7, Scale: 1,
+				StartHour: 13, EndHour: 14,
+				NoBulkDense: noBulk,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cs.Sim.RunFor(90) // untimed warm-up: build peak-hour concurrency
+			b.StartTimer()
+			cs.Sim.RunFor(30)
+			b.StopTimer()
+			ops = cs.Sim.CompletedOps()
+			active = cs.Sim.ActiveAgents()
+			cs.Sim.Shutdown()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(ops), "ops")
+		b.ReportMetric(float64(active), "active-agents")
+	}
+	b.Run("bulk-dense", func(b *testing.B) { run(b, false) })
+	b.Run("lock-step", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkDayNightClients runs the day-night client scenario — the
 // validation platform under a 24 h business-day curve with a 5% night
 // floor at the default 10 ms step — in the two loop configurations the

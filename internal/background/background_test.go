@@ -240,7 +240,7 @@ func TestIndexDaemonSequentialAndBacklog(t *testing.T) {
 		// against 0.2 MB/s owned generation: stable, finite builds.
 		CyclesPerByte: 2500,
 	}
-	sim.AddSource(d)
+	d.Handle = sim.AddSource(d)
 	sim.RunFor(4 * 3600)
 	if err := sim.RunUntilIdle(3600); err != nil {
 		t.Fatal(err)
@@ -277,7 +277,7 @@ func TestIndexDaemonNeverOverlaps(t *testing.T) {
 		// Throughput 1.25 MB/s barely above generation: long builds.
 		CyclesPerByte: 2000,
 	}
-	sim.AddSource(d)
+	d.Handle = sim.AddSource(d)
 	maxActive := 0
 	sim.AddSource(core.SourceFunc(func(s *core.Simulation, now float64) {
 		if d.Running() {

@@ -28,6 +28,14 @@ type IndexDaemon struct {
 	Growth        GrowthModel
 	Gap           float64 // seconds between completion and next launch (300)
 	CyclesPerByte float64 // 0 selects DefaultIndexCyclesPerByte
+	// Handle is the source handle AddSource returned for this daemon.
+	// When set, the daemon parks its poll schedule at +Inf while a build
+	// runs and re-arms it from the completion callback via RearmSource —
+	// the calendar loop then never consults a dormant daemon. When zero
+	// (the daemon was registered without keeping the handle) it falls back
+	// to per-tick no-op polls while a build runs, which is correct but
+	// vetoes fast-forward jumps for the build's duration.
+	Handle core.SourceHandle
 
 	// Durations records one sample per completed INDEXBUILD (seconds).
 	Durations metrics.Series
@@ -64,14 +72,19 @@ func (d *IndexDaemon) Poll(s *core.Simulation, now float64) {
 }
 
 // NextPoll reports the next scheduled INDEXBUILD launch. While a build is
-// running the daemon is dormant (+Inf): its completion callback sets the
-// relaunch time, and the simulation re-consults NextPoll every iteration,
-// so the re-arm is picked up on the tick after the build completes.
+// running a wired daemon (Handle set) is dormant (+Inf): its completion
+// callback sets the relaunch time and notifies the simulation through
+// RearmSource, so the calendar loop never consults it in between. An
+// unwired daemon keeps per-tick polling while running — its polls are
+// no-ops, preserving correctness at the cost of vetoed jumps.
 func (d *IndexDaemon) NextPoll(now float64) float64 {
 	switch {
 	case !d.started:
 		return now
 	case d.running:
+		if d.Handle == 0 {
+			return now
+		}
 		return math.Inf(1)
 	default:
 		return d.nextLaunch
@@ -131,6 +144,7 @@ func (d *IndexDaemon) launch(s *core.Simulation, now float64) {
 			d.running = false
 			d.nextLaunch = done + d.Gap
 			d.Durations.Add(done, dur)
+			s.RearmSource(d.Handle) // wake the parked poll schedule
 		},
 	})
 }

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+// hzAgent is a horizon-aware, bulk-capable queue agent — the minimal
+// hardware-like agent for core-layer tests. It reports exact horizons so
+// the bulk-dense loop can step it lazily, and counts Step invocations and
+// total ticks advanced so tests can assert both that laziness engaged and
+// that no tick was lost.
+type hzAgent struct {
+	AgentBase
+	q       *queueing.FCFS
+	steps   int   // Step invocations (per-tick work)
+	stepped int64 // total ticks advanced, bulk or not
+}
+
+func newHzAgent(s *Simulation, name string, rate float64) *hzAgent {
+	a := &hzAgent{q: queueing.NewFCFS(1, rate)}
+	a.q.SetNotify(a.MarkDirty)
+	a.InitAgent(s.NextAgentID(), name)
+	s.AddAgent(a)
+	return a
+}
+
+func (a *hzAgent) Enqueue(t *queueing.Task) {
+	a.Sync()
+	a.q.Enqueue(t)
+}
+
+func (a *hzAgent) Step(dt float64) {
+	a.steps++
+	a.stepped++
+	a.q.Step(dt, a.BufferDone)
+}
+
+func (a *hzAgent) StepN(n int, dt float64) {
+	if a.q.CanBulk(float64(n) * dt) {
+		a.stepped += int64(n)
+		a.q.BulkStep(n, dt)
+		return
+	}
+	for i := 0; i < n; i++ {
+		a.Step(dt)
+	}
+}
+
+func (a *hzAgent) Idle() bool       { return a.q.Idle() }
+func (a *hzAgent) Horizon() float64 { return a.q.Horizon() }
+
+// TestBulkDrainReachesArmedCompletion is the drain-set correctness case:
+// a completion armed at t=0 that fires only after a long stretch, on an
+// agent that is neither due nor notified at any intermediate iteration —
+// a naive drain set built only from SetNotify firings would never reach
+// it. A busy neighbor keeps the loop iterating every tick, so the armed
+// agent is skipped by the involved-only sweep the whole way; the due-pop
+// at its event tick must still step and drain it at exactly the instant
+// the lock-step loop would.
+func TestBulkDrainReachesArmedCompletion(t *testing.T) {
+	run := func(noBulk bool) (*Simulation, *hzAgent, *hzAgent) {
+		s := NewSimulation(Config{Step: 0.01, Seed: 1, CollectEvery: 1 << 30, NoBulkDense: noBulk})
+		slow := newHzAgent(s, "slow", 100) // demand 100 => 1 s = 100 ticks
+		fast := newHzAgent(s, "fast", 100)
+		armed := false
+		s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+			if !armed {
+				armed = true
+				sim.StartOp(singleStageOp("ARMED", "NA", slow, 100))
+			}
+			// One short op per tick keeps events firing on the neighbor, so
+			// the loop single-steps densely while the armed agent waits.
+			sim.StartOp(singleStageOp("NOISE", "NA", fast, 2))
+		}))
+		s.RunFor(1.5)
+		return s, slow, fast
+	}
+	bulk, bulkSlow, _ := run(false)
+	plain, plainSlow, _ := run(true)
+
+	// The armed completion must be drained at the exact tick it fires.
+	bs, ps := bulk.Responses.Series("ARMED", "NA"), plain.Responses.Series("ARMED", "NA")
+	if bs == nil || bs.Len() != 1 || ps.Len() != 1 {
+		t.Fatalf("armed op completions: bulk %v plain %v, want 1 each", bs, ps)
+	}
+	if bs.T[0] != ps.T[0] || bs.V[0] != ps.V[0] {
+		t.Fatalf("armed completion diverged: (%v, %v) vs (%v, %v)", bs.T[0], bs.V[0], ps.T[0], ps.V[0])
+	}
+	if math.Abs(bs.T[0]-1.01) > 0.011 {
+		t.Errorf("armed completion at %v, want ~1.01 (100 ticks service + forwarding tick)", bs.T[0])
+	}
+	// Noise traffic must match bit for bit too.
+	bn, pn := bulk.Responses.Series("NOISE", "NA"), plain.Responses.Series("NOISE", "NA")
+	if bn.Len() != pn.Len() {
+		t.Fatalf("noise completions: %d vs %d", bn.Len(), pn.Len())
+	}
+	for i := range pn.V {
+		if bn.T[i] != pn.T[i] || bn.V[i] != pn.V[i] {
+			t.Fatalf("noise completion %d diverged: (%v, %v) vs (%v, %v)", i, bn.T[i], bn.V[i], pn.T[i], pn.V[i])
+		}
+	}
+	// Both loops advanced the armed agent through the same ticks, but the
+	// bulk-dense loop must have done so lazily: a handful of Step calls
+	// (the event tick plus catch-up remainders) instead of one per tick.
+	if bulkSlow.stepped != plainSlow.stepped {
+		t.Errorf("ticks advanced diverged: bulk %d vs plain %d", bulkSlow.stepped, plainSlow.stepped)
+	}
+	if plainSlow.steps < 90 {
+		t.Errorf("lock-step loop stepped the armed agent %d times, want ~100 (every tick)", plainSlow.steps)
+	}
+	if bulkSlow.steps > 10 {
+		t.Errorf("bulk-dense loop stepped the armed agent %d times, want <= 10 (lazy catch-up)", bulkSlow.steps)
+	}
+}
+
+// TestBulkQuietArmedCompletion is the jump variant of the drain-set case:
+// nothing else happens, so the loop takes one long jump to just before the
+// armed event tick and a single step onto it — the completion must still
+// be found and drained on time.
+func TestBulkQuietArmedCompletion(t *testing.T) {
+	run := func(noBulk bool) *Simulation {
+		s := NewSimulation(Config{Step: 0.01, Seed: 1, CollectEvery: 1 << 30, NoBulkDense: noBulk})
+		slow := newHzAgent(s, "slow", 100)
+		s.AddSource(&timedSource{at: 0, launch: func(sim *Simulation) {
+			sim.StartOp(singleStageOp("ARMED", "NA", slow, 500)) // 5 s
+		}})
+		s.RunFor(10)
+		return s
+	}
+	bulk, plain := run(false), run(true)
+	bs, ps := bulk.Responses.Series("ARMED", "NA"), plain.Responses.Series("ARMED", "NA")
+	if bs == nil || bs.Len() != 1 || ps.Len() != 1 {
+		t.Fatalf("completions: bulk %v plain %v, want 1 each", bs, ps)
+	}
+	if bs.T[0] != ps.T[0] || bs.V[0] != ps.V[0] {
+		t.Fatalf("completion diverged: (%v, %v) vs (%v, %v)", bs.T[0], bs.V[0], ps.T[0], ps.V[0])
+	}
+	bj, bskip := bulk.FastForwardStats()
+	pj, pskip := plain.FastForwardStats()
+	if bj != pj || bskip != pskip {
+		t.Errorf("jump stats diverged: %d/%d vs %d/%d (jump sizing must be unchanged)", bj, bskip, pj, pskip)
+	}
+	if bskip < 900 {
+		t.Errorf("skipped only %d ticks; the quiet schedule holds ~9.5 s", bskip)
+	}
+}
+
+// TestBulkLazyEnqueueSyncsFirst pins the catch-up-before-enqueue contract:
+// work arriving on a lazily-stepped agent must land on state that has been
+// replayed to the present tick, so in-progress service keeps its exact
+// completion instant and the new work queues behind it identically to the
+// lock-step loop.
+func TestBulkLazyEnqueueSyncsFirst(t *testing.T) {
+	run := func(noBulk bool) *Simulation {
+		s := NewSimulation(Config{Step: 0.01, Seed: 1, CollectEvery: 1 << 30, NoBulkDense: noBulk})
+		ag := newHzAgent(s, "srv", 100)
+		fast := newHzAgent(s, "fast", 100)
+		// Long service armed at t=0; a second task lands mid-service at
+		// t=0.4 while the agent is lazy; noise keeps the loop dense.
+		s.AddSource(&timedSource{at: 0, launch: func(sim *Simulation) {
+			sim.StartOp(singleStageOp("LONG", "NA", ag, 80)) // 0.8 s
+		}})
+		s.AddSource(&timedSource{at: 0.4, launch: func(sim *Simulation) {
+			sim.StartOp(singleStageOp("TAIL", "NA", ag, 30)) // 0.3 s after LONG
+		}})
+		n := 0
+		s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+			n++
+			if n%3 == 0 {
+				sim.StartOp(singleStageOp("NOISE", "NA", fast, 3))
+			}
+		}))
+		s.RunFor(2)
+		return s
+	}
+	bulk, plain := run(false), run(true)
+	for _, op := range []string{"LONG", "TAIL", "NOISE"} {
+		bs, ps := bulk.Responses.Series(op, "NA"), plain.Responses.Series(op, "NA")
+		if bs == nil || ps == nil || bs.Len() != ps.Len() {
+			t.Fatalf("%s: completions %v vs %v", op, bs, ps)
+		}
+		for i := range ps.V {
+			if bs.T[i] != ps.T[i] || bs.V[i] != ps.V[i] {
+				t.Fatalf("%s completion %d diverged: (%v, %v) vs (%v, %v)", op, i, bs.T[i], bs.V[i], ps.T[i], ps.V[i])
+			}
+		}
+	}
+}
+
+// parkingSource launches once and then parks its schedule at +Inf,
+// counting Poll and NextPoll invocations — the instrument for pinning the
+// dormant-source contract: a parked source must not be re-consulted until
+// an explicit RearmSource notification.
+type parkingSource struct {
+	at        float64
+	fired     int
+	polls     int
+	nextPolls int
+}
+
+func (p *parkingSource) Poll(s *Simulation, now float64) {
+	p.polls++
+	if now >= p.at {
+		p.fired++
+		p.at = math.Inf(1)
+	}
+}
+
+func (p *parkingSource) NextPoll(now float64) float64 {
+	p.nextPolls++
+	return p.at
+}
+
+// TestDormantSourceNotReconsulted pins the explicit re-arm contract: a
+// source whose NextPoll returns +Inf is parked — zero Poll or NextPoll
+// calls while dormant, however many iterations pass — and RearmSource is
+// what wakes it. The pinned veto agent forces an iteration per tick, so
+// the old per-iteration reconsult would have produced hundreds of
+// NextPoll calls.
+func TestDormantSourceNotReconsulted(t *testing.T) {
+	s := NewSimulation(Config{Step: 0.01, Seed: 1})
+	v := &vetoAgent{}
+	v.InitAgent(s.NextAgentID(), "veto")
+	s.AddAgent(v)
+	v.Pin()
+	src := &parkingSource{at: 0.1}
+	h := s.AddSource(src)
+
+	s.RunFor(5) // 500 per-tick iterations
+	if src.fired != 1 || src.polls != 2 {
+		t.Fatalf("fired %d times in %d polls, want 1 in 2 (registration tick + due tick)", src.fired, src.polls)
+	}
+	// One NextPoll per executed poll — and none across the ~490 dormant
+	// iterations, which the per-iteration reconsult would each have paid.
+	if src.nextPolls != src.polls {
+		t.Errorf("NextPoll consulted %d times for %d polls; dormant stretch must add none", src.nextPolls, src.polls)
+	}
+
+	// Re-arm mid-run: the source schedules a second launch and notifies.
+	src.at = s.Clock().NowSeconds() + 0.5
+	s.RearmSource(h)
+	consulted := src.nextPolls
+	if consulted != src.polls+1 {
+		t.Fatalf("RearmSource consulted NextPoll %d times, want exactly once", consulted-src.polls)
+	}
+	s.RunFor(1)
+	if src.fired != 2 {
+		t.Errorf("re-armed source fired %d times, want 2", src.fired)
+	}
+	if src.polls != 3 {
+		t.Errorf("re-armed source polled %d times, want 3 (exactly one new due poll)", src.polls)
+	}
+	if src.nextPolls != src.polls+1 {
+		t.Errorf("NextPoll consulted %d times total, want %d (no reconsult after re-parking)", src.nextPolls, src.polls+1)
+	}
+}
+
+// TestCalendarInvalidationProperty drives a random interleaving of every
+// operation that can move an agent's next event — enqueues, ticks (due
+// pops and completions), jumps, bare MarkDirty/MarkActive — and after each
+// operation folds the dirty set and checks the full calendar invariant:
+// the heap is a valid min-heap with a consistent position index, every
+// active agent has exactly one entry whose key equals the agent's freshly
+// recomputed due tick (based at the tick its state has advanced through),
+// and no inactive agent lingers.
+func TestCalendarInvalidationProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			calendarProperty(t, seed, 10000, false)
+		})
+	}
+	// The lock-step calendar loop upholds the same invariant with keys
+	// based at the clock (every active agent is swept every iteration).
+	t.Run("seed-7-lockstep", func(t *testing.T) { calendarProperty(t, 7, 10000, true) })
+}
+
+func calendarProperty(t *testing.T, seed uint64, nops int, noBulk bool) {
+	t.Helper()
+	s := NewSimulation(Config{Step: 0.01, Seed: seed, CollectEvery: 1 << 30, NoBulkDense: noBulk})
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	agents := make([]*hzAgent, 8)
+	for i := range agents {
+		agents[i] = newHzAgent(s, fmt.Sprintf("prop-%d", i), 100*float64(i+1))
+	}
+
+	verify := func(op string) {
+		s.rekeyDirty() // fold pending invalidations, as the loop would before reading the head
+		now := s.clock.Now()
+		for i, e := range s.cal.entries {
+			if s.cal.pos[e.id] != int32(i) {
+				t.Fatalf("after %s: pos[%d] = %d, entry at %d", op, e.id, s.cal.pos[e.id], i)
+			}
+			if i > 0 {
+				if parent := (i - 1) / 2; s.cal.less(i, parent) {
+					t.Fatalf("after %s: heap violated at %d (key %d) under parent %d (key %d)",
+						op, i, e.key, parent, s.cal.entries[parent].key)
+				}
+			}
+		}
+		active := 0
+		for _, a := range agents {
+			b := a.Base()
+			if !b.active {
+				if s.cal.contains(b.id) {
+					t.Fatalf("after %s: inactive agent %d still in calendar", op, b.id)
+				}
+				continue
+			}
+			active++
+			if !s.cal.contains(b.id) {
+				t.Fatalf("after %s: active agent %d missing from calendar", op, b.id)
+			}
+			base := now
+			if s.bulkDense {
+				base = s.agentTick[b.id]
+			}
+			want := s.agentKey(a.Horizon(), base)
+			if got := s.cal.entries[s.cal.pos[b.id]].key; got != want {
+				t.Fatalf("after %s: agent %d key %d, want %d (horizon %v based at tick %d)",
+					op, b.id, got, want, a.Horizon(), base)
+			}
+		}
+		if s.cal.len() != active {
+			t.Fatalf("after %s: %d calendar entries for %d active agents", op, s.cal.len(), active)
+		}
+	}
+
+	for i := 0; i < nops; i++ {
+		a := agents[rng.IntN(len(agents))]
+		var op string
+		switch rng.IntN(10) {
+		case 0, 1, 2, 3: // enqueue work (flows exercise Sync + SetNotify)
+			demand := (0.2 + 5*rng.Float64()) * a.q.Rate() * s.clock.Step()
+			s.StartOp(singleStageOp("P", "NA", a, demand))
+			op = "enqueue"
+		case 4, 5, 6: // advance one tick: pops due entries, completes work
+			s.Tick()
+			op = "tick"
+		case 7: // multi-tick run: jumps, pops, drains, deactivations
+			s.RunFor(float64(1+rng.IntN(20)) * s.clock.Step())
+			op = "run"
+		case 8:
+			a.MarkDirty()
+			op = "markdirty"
+		default:
+			a.MarkActive()
+			op = "markactive"
+		}
+		verify(op)
+	}
+}
+
+// TestBulkDirectTickMatchesLockStep runs the same random traffic under
+// direct Tick calls — where every landing is a full-sync — and under the
+// jumping run loop, in bulk and lock-step modes, asserting identical
+// responses. It complements the scenario-level equivalence suite with a
+// core-only harness that is cheap enough for -short.
+func TestBulkDirectTickMatchesLockStep(t *testing.T) {
+	run := func(noBulk bool, direct bool) *Simulation {
+		s := NewSimulation(Config{Step: 0.01, Seed: 9, CollectEvery: 50, NoBulkDense: noBulk})
+		ag := newHzAgent(s, "srv", 200)
+		dl := NewDelayLine(s, "think")
+		count := 0
+		s.AddSource(SourceFunc(func(sim *Simulation, now float64) {
+			if count < 40 && sim.Clock().Now()%7 == 0 {
+				count++
+				d := 1 + sim.RNG().Float64()*20
+				sim.StartOp(OpRun{
+					Name: "MIX", DC: "NA", NumSteps: 2,
+					Expand: func(step int) []MessagePlan {
+						if step == 0 {
+							return []MessagePlan{{Stages: []Stage{{Queue: ag, Demand: d}}}}
+						}
+						return []MessagePlan{{Stages: []Stage{{Queue: dl, Delay: 0.13}}}}
+					},
+				})
+			}
+		}))
+		if direct {
+			for i := 0; i < 600; i++ {
+				s.Tick()
+			}
+		} else {
+			s.RunFor(6)
+		}
+		return s
+	}
+	ref := run(true, false)
+	for _, tc := range []struct {
+		name   string
+		noBulk bool
+		direct bool
+	}{{"bulk-run", false, false}, {"bulk-direct-tick", false, true}, {"lockstep-direct-tick", true, true}} {
+		got := run(tc.noBulk, tc.direct)
+		if ref.CompletedOps() != got.CompletedOps() {
+			t.Errorf("%s: completed ops %d vs %d", tc.name, ref.CompletedOps(), got.CompletedOps())
+		}
+		rs, gs := ref.Responses.Series("MIX", "NA"), got.Responses.Series("MIX", "NA")
+		if rs.Len() != gs.Len() {
+			t.Fatalf("%s: %d vs %d completions", tc.name, rs.Len(), gs.Len())
+		}
+		for i := range rs.V {
+			if rs.T[i] != gs.T[i] || rs.V[i] != gs.V[i] {
+				t.Fatalf("%s: completion %d diverged: (%v, %v) vs (%v, %v)",
+					tc.name, i, rs.T[i], rs.V[i], gs.T[i], gs.V[i])
+			}
+		}
+	}
+}

@@ -66,7 +66,10 @@ type Agent interface {
 	// ticks strictly before the earliest horizon, so undershooting is
 	// always safe while overshooting would skip an event. AgentBase
 	// supplies a conservative 0 ("I may act next tick") for agents that do
-	// not override it; it is only called from sequential phases.
+	// not override it. It is called from sequential phases and, under the
+	// bulk-dense loop, from inside the parallel sweep (advanceAgent sizes
+	// bulk chunks with it), so like Step it must only touch the agent's
+	// own state.
 	Horizon() float64
 }
 
@@ -96,10 +99,13 @@ type AgentBase struct {
 	name string
 	done []*queueing.Task
 
-	sim    *Simulation // set by AddAgent; nil until registered
-	active bool        // currently a member of the simulation's active set
-	pinned bool        // never deactivated (swept every tick)
-	dirty  bool        // horizon invalidated; queued for a calendar rekey
+	sim       *Simulation // set by AddAgent; nil until registered
+	active    bool        // currently a member of the simulation's active set
+	pinned    bool        // never deactivated (swept every tick/window)
+	dirty     bool        // horizon invalidated; queued for a calendar rekey
+	listed    bool        // holds an entry in the simulation's active slice
+	pendDrain bool        // queued in the drain set since the last drain
+	inPinned  bool        // registered in the simulation's pinned list
 }
 
 // InitAgent sets the agent identity. It panics when called twice: an agent
@@ -165,6 +171,10 @@ func (b *AgentBase) MarkDirty() { b.MarkActive() }
 func (b *AgentBase) Pin() {
 	b.pinned = true
 	b.MarkActive()
+	if b.sim != nil && !b.inPinned {
+		b.inPinned = true
+		b.sim.pinnedIDs = append(b.sim.pinnedIDs, b.id)
+	}
 }
 
 // Pinned reports whether the agent opted out of deactivation.
@@ -177,6 +187,20 @@ func (b *AgentBase) Pinned() bool { return b.pinned }
 // per-tick side effects regardless of queued work (synthetic load
 // generators) keep the default and thereby veto jumps while active.
 func (b *AgentBase) Horizon() float64 { return 0 }
+
+// Sync catches the agent up to the current simulation tick. Under the
+// bulk-dense loop an active agent may be stepped lazily — advanced in bulk
+// only when it next matters — so any operation that mutates or reads
+// tick-dependent agent state from a sequential phase (an Enqueue, a local
+// clock read) must first replay the ticks the involved-only sweeps skipped.
+// Hardware agents call it at the top of Enqueue, and the flow router calls
+// it before handing a stage to its queue; it is an O(1) no-op when the
+// agent is current, inactive, unregistered, or the bulk-dense loop is off.
+func (b *AgentBase) Sync() {
+	if b.sim != nil {
+		b.sim.syncAgent(b.id)
+	}
+}
 
 // BufferDone records a completed task for the next Drain. Hardware agents
 // pass this method as the DoneFunc of their internal queues.

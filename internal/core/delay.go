@@ -28,10 +28,13 @@ func NewDelayLine(sim *Simulation, name string) *DelayLine {
 
 // Enqueue admits a task; it will complete after task.Delay seconds. The
 // line's local clock only advances while it is active, which is safe: the
-// expiry of every held task is relative to that same local clock. The
-// admission both activates the line and invalidates its calendar entry —
-// the new expiry may precede the cached earliest one.
+// expiry of every held task is relative to that same local clock. Sync
+// first replays any ticks the bulk-dense loop deferred, so the local clock
+// is current before the expiry is computed against it. The admission both
+// activates the line and invalidates its calendar entry — the new expiry
+// may precede the cached earliest one.
 func (d *DelayLine) Enqueue(t *queueing.Task) {
+	d.Sync()
 	d.MarkDirty()
 	d.seq++
 	heap.Push(&d.heap, delayEntry{expiry: d.now + t.Delay, seq: d.seq, task: t})

@@ -75,12 +75,34 @@ type Flow struct {
 }
 
 // token is one in-flight message of a flow traversing its stages. The
-// embedded task is reused across stages to avoid per-stage allocation.
+// embedded task is reused across stages to avoid per-stage allocation, and
+// finished tokens return to a simulation-owned free list — message launch
+// is the hottest allocation site of busy hours. Tokens are only created
+// and retired in sequential phases, so the pool needs no locking.
 type token struct {
 	flow   *Flow
 	stages []Stage
 	idx    int
 	task   queueing.Task
+}
+
+// newToken pops a pooled token or allocates a fresh one.
+func (s *Simulation) newToken() *token {
+	if n := len(s.tokenPool); n > 0 {
+		tok := s.tokenPool[n-1]
+		s.tokenPool[n-1] = nil
+		s.tokenPool = s.tokenPool[:n-1]
+		return tok
+	}
+	return &token{}
+}
+
+// freeToken resets a finished token and returns it to the pool. The caller
+// guarantees no queue holds the embedded task anymore — a token only
+// finishes when its final stage's completion has been drained.
+func (s *Simulation) freeToken(tok *token) {
+	*tok = token{}
+	s.tokenPool = append(s.tokenPool, tok)
 }
 
 // startOp validates and launches an operation instance. It is called by
@@ -117,7 +139,9 @@ func (s *Simulation) advanceFlow(f *Flow) {
 		}
 		f.outstanding = len(plans)
 		for _, plan := range plans {
-			tok := &token{flow: f, stages: plan.Stages}
+			tok := s.newToken()
+			tok.flow = f
+			tok.stages = plan.Stages
 			tok.task.Payload = tok
 			s.nextTaskID++
 			tok.task.ID = s.nextTaskID
@@ -139,6 +163,12 @@ func (s *Simulation) startStage(tok *token) {
 		if st.Queue != nil {
 			tok.task.Demand = st.Demand
 			tok.task.Delay = st.Delay
+			// Under the bulk-dense loop the target may be lazily stepped;
+			// replay its deficit before the enqueue mutates its queues, so
+			// the new work lands on state identical to the lock-step
+			// loop's. Hardware agents also self-sync in Enqueue; routing
+			// through here covers custom agents too.
+			s.syncAgent(st.Queue.ID())
 			st.Queue.Enqueue(&tok.task)
 			// Join the active set so the engine sweeps this agent next
 			// tick; hardware agents also self-activate in Enqueue, but
@@ -169,9 +199,11 @@ func (s *Simulation) onTaskDone(t *queueing.Task) {
 	s.startStage(tok)
 }
 
-// tokenDone accounts a finished message within its flow.
+// tokenDone accounts a finished message within its flow and recycles the
+// token.
 func (s *Simulation) tokenDone(tok *token) {
 	f := tok.flow
+	s.freeToken(tok)
 	f.outstanding--
 	if f.outstanding < 0 {
 		panic(fmt.Sprintf("core: flow %d over-completed", f.id))

@@ -7,6 +7,7 @@ import (
 	"slices"
 
 	"repro/internal/metrics"
+	"repro/internal/queueing"
 	"repro/internal/simtime"
 )
 
@@ -21,8 +22,10 @@ type Source interface {
 	// before the returned instant must be no-ops; the event-horizon
 	// fast-forward relies on that contract to skip them wholesale.
 	// Returning now (or any instant within the next step) keeps classic
-	// per-tick polling; +Inf means the source is exhausted or is re-armed
-	// only by a completion callback.
+	// per-tick polling. +Inf parks the source: the calendar loop will not
+	// consult it again, so a source that is merely dormant — re-armed by a
+	// completion callback rather than exhausted — must have that callback
+	// invoke Simulation.RearmSource with the handle AddSource returned.
 	NextPoll(now float64) float64
 }
 
@@ -58,7 +61,20 @@ type Config struct {
 	// every source's NextPoll and every active agent's Horizon on each
 	// iteration. Results are bit-identical with the calendar on or off;
 	// the flag exists for A/B benchmarking the O(changed) scheduling win.
+	// It implies NoBulkDense.
 	NoCalendar bool
+	// NoBulkDense disables agent-local bulk stepping for dense periods and
+	// the calendar-driven drain, restoring the lock-step calendar loop that
+	// sweeps and drains every active agent on every iteration. With the
+	// flag off (the default), each iteration globally steps only the agents
+	// whose calendar entry is due plus the pinned set; every other active
+	// agent is advanced lazily — caught up in one bulk replay when it is
+	// next enqueued on, popped due, or a collector boundary lands — and the
+	// drain walks only the popped-due set plus the agents whose queues
+	// fired SetNotify since the last drain. Results are bit-identical
+	// either way — the equivalence tests enforce it — so the flag exists
+	// for A/B benchmarking and bisection, not as a safety valve.
+	NoBulkDense bool
 	// NoThinning disables exponential-gap arrival thinning in sources that
 	// support it (workload.AppWorkload), forcing per-tick Poisson draws.
 	// Unlike the loop flags this one changes the RNG draw sequence: with
@@ -101,6 +117,7 @@ type Simulation struct {
 
 	fastForward bool   // event-horizon jumps enabled (Config.NoFastForward off)
 	useCalendar bool   // indexed event calendar + poll scheduler (NoCalendar off)
+	bulkDense   bool   // agent-local bulk stepping + calendar drains (NoBulkDense off)
 	thinning    bool   // sources may thin arrivals (Config.NoThinning off)
 	jumps       uint64 // fast-forward jumps taken
 	skipped     uint64 // whole ticks the jumps fast-forwarded across
@@ -113,16 +130,39 @@ type Simulation struct {
 	cal   calendar
 	dirty []AgentID
 
+	// Bulk-dense loop state. agentTick records, per agent, the tick its
+	// state has been stepped through — meaningful only while the agent is
+	// active; lazily-stepped agents trail the clock and are caught up by
+	// syncAgent. drainPend is the calendar-driven drain set: the agents
+	// marked dirty since the last drain (popped due, enqueued on via
+	// SetNotify), gated by AgentBase.pendDrain; drainSpare recycles the
+	// previous drain's backing array. pinnedIDs lists the pinned agents,
+	// which join every window's sweep by contract. liveActive counts the
+	// truly active agents (the active slice may carry tombstones between
+	// compactions). invIDs/invAgents are the per-iteration involved-sweep
+	// scratch.
+	agentTick  []simtime.Tick
+	drainPend  []AgentID
+	drainSpare []AgentID
+	pinnedIDs  []AgentID
+	liveActive int
+	invIDs     []AgentID
+	invAgents  []Agent
+	advanceTo  simtime.Tick // current window's landing tick (sweep target)
+	advanceFn  func(Agent)  // advanceInvolved, bound once (no per-sweep closure)
+	drainFn    func(*queueing.Task) // onTaskDone, bound once (no per-drain closure)
+
 	// srcDue caches each source's due tick (first tick whose Poll may have
-	// an observable effect); srcMin is their minimum and srcDormant counts
-	// the sources reporting +Inf, which are re-consulted every iteration
-	// because a completion callback may re-arm them off-schedule.
-	srcDue     []simtime.Tick
-	srcMin     simtime.Tick
-	srcDormant int
+	// an observable effect); srcMin is their minimum. Sources reporting
+	// +Inf are parked until Simulation.RearmSource re-consults them — a
+	// completion callback that re-arms a dormant source must notify the
+	// simulation explicitly.
+	srcDue []simtime.Tick
+	srcMin simtime.Tick
 
 	gaugeIdx  map[string]Gauge
 	gaugeVals []float64
+	tokenPool []*token // finished message tokens, reused by advanceFlow
 
 	nextFlowID   uint64
 	nextTaskID   uint64
@@ -143,7 +183,7 @@ func NewSimulation(cfg Config) *Simulation {
 	if eng == nil {
 		eng = &SequentialEngine{}
 	}
-	return &Simulation{
+	s := &Simulation{
 		clock:        simtime.NewClock(cfg.Step),
 		engine:       eng,
 		Collector:    metrics.NewCollector(),
@@ -153,10 +193,14 @@ func NewSimulation(cfg Config) *Simulation {
 		gaugeIdx:     make(map[string]Gauge),
 		fastForward:  !cfg.NoFastForward,
 		useCalendar:  !cfg.NoCalendar && !cfg.NoFastForward,
+		bulkDense:    !cfg.NoBulkDense && !cfg.NoCalendar && !cfg.NoFastForward,
 		thinning:     !cfg.NoThinning,
 		activeSorted: true,
 		srcMin:       neverTick,
 	}
+	s.advanceFn = s.advanceInvolved
+	s.drainFn = s.onTaskDone
+	return s
 }
 
 // Clock exposes the simulation clock (read-only use by callers).
@@ -183,10 +227,17 @@ func (s *Simulation) AddAgent(a Agent) {
 	}
 	s.agents = append(s.agents, a)
 	s.cal.grow(len(s.agents))
+	for len(s.agentTick) < len(s.agents) {
+		s.agentTick = append(s.agentTick, 0)
+	}
 	b := a.Base()
 	b.sim = s
 	if b.pinned || !a.Idle() {
 		b.MarkActive() // pinned (or pre-loaded) before registration
+		if b.pinned && !b.inPinned {
+			b.inPinned = true
+			s.pinnedIDs = append(s.pinnedIDs, b.id)
+		}
 	}
 	s.rebind = true
 }
@@ -194,8 +245,18 @@ func (s *Simulation) AddAgent(a Agent) {
 // activate records an agent ID in the active set. Callers go through
 // AgentBase.MarkActive, which guarantees duplicate-free O(1) insertion.
 // An append below the current tail breaks sortedness; any append
-// invalidates the materialized sweep.
+// invalidates the materialized sweep. Under the bulk-dense loop an agent
+// activates "current": its state has trivially been stepped through the
+// present tick, so lazy catch-up starts from here; a tombstoned entry
+// (deactivated but not yet compacted away) is revived in place.
 func (s *Simulation) activate(id AgentID) {
+	s.liveActive++
+	s.agentTick[id] = s.clock.Now()
+	b := s.agents[id].Base()
+	if b.listed {
+		return // bulk-dense tombstone: the slice entry is still there
+	}
+	b.listed = true
 	if n := len(s.active); n > 0 && id < s.active[n-1] {
 		s.activeSorted = false
 	}
@@ -203,25 +264,61 @@ func (s *Simulation) activate(id AgentID) {
 	s.sweepStale = true
 }
 
-// invalidate queues an agent for a calendar rekey. Callers go through
+// invalidate queues an agent for a calendar rekey and, under the
+// bulk-dense loop, for the next calendar-driven drain. Callers go through
 // AgentBase.MarkActive/MarkDirty, which gate duplicates; it must only run
 // in sequential phases.
 func (s *Simulation) invalidate(id AgentID) {
-	if s.useCalendar {
-		s.dirty = append(s.dirty, id)
+	if !s.useCalendar {
+		return
+	}
+	s.dirty = append(s.dirty, id)
+	if s.bulkDense {
+		if b := s.agents[id].Base(); !b.pendDrain {
+			b.pendDrain = true
+			s.drainPend = append(s.drainPend, id)
+		}
 	}
 }
 
 // ActiveAgents reports the current size of the active set.
-func (s *Simulation) ActiveAgents() int { return len(s.active) }
+func (s *Simulation) ActiveAgents() int { return s.liveActive }
 
-// AddSource registers a work source. The scan loop polls it every tick;
-// the calendar loop polls it whenever its NextPoll schedule is due,
-// starting at the next tick boundary.
-func (s *Simulation) AddSource(src Source) {
+// SourceHandle identifies a registered source. Handles are 1-based so the
+// zero value means "none"; they are returned by AddSource and consumed by
+// RearmSource.
+type SourceHandle int
+
+// AddSource registers a work source and returns its handle. The scan loop
+// polls every source every tick; the calendar loop polls a source whenever
+// its NextPoll schedule is due, starting at the next tick boundary. A
+// source whose NextPoll returns +Inf is parked: it is not re-consulted
+// until RearmSource is called with its handle, so a source that goes
+// dormant and is re-armed by a completion callback must notify the
+// simulation from that callback.
+func (s *Simulation) AddSource(src Source) SourceHandle {
 	s.sources = append(s.sources, src)
 	due := s.clock.Now()
 	s.srcDue = append(s.srcDue, due)
+	if due < s.srcMin {
+		s.srcMin = due
+	}
+	return SourceHandle(len(s.sources))
+}
+
+// RearmSource re-consults a parked source's NextPoll schedule. Completion
+// callbacks that re-arm a dormant (+Inf-schedule) source call it so the
+// calendar loop picks the new schedule up without re-polling every dormant
+// source on every iteration; it is harmless (and cheap) to call for a
+// source that never went dormant. The zero handle is a no-op, and the scan
+// loop — which re-consults everything every tick anyway — ignores it.
+func (s *Simulation) RearmSource(h SourceHandle) {
+	if h <= 0 || int(h) > len(s.sources) || !s.useCalendar {
+		return
+	}
+	i := int(h) - 1
+	due := s.srcDueTick(s.sources[i].NextPoll(s.clock.NowSeconds()), s.clock.Now())
+	s.srcDue[i] = due
 	if due < s.srcMin {
 		s.srcMin = due
 	}
@@ -297,6 +394,10 @@ func (s *Simulation) Tick() { s.tick(s.clock.Now() + 1) }
 // tick advances the simulation by one step or, when the event horizon
 // allows, by a jump of whole ticks landing no later than limit.
 func (s *Simulation) tick(limit simtime.Tick) {
+	if s.bulkDense {
+		s.tickBulk(limit)
+		return
+	}
 	step := s.clock.Step()
 	now := s.clock.NowSeconds()
 
@@ -393,7 +494,7 @@ func (s *Simulation) tick(limit simtime.Tick) {
 	// Downstream agents activated here join s.active beyond this tick's
 	// sweep slice and are first served next tick (§4.3.3 timestamp rule).
 	for _, a := range s.sweep {
-		a.Drain(s.onTaskDone)
+		a.Drain(s.drainFn)
 	}
 
 	// Deactivation: drop swept agents that went idle, keeping relative
@@ -407,6 +508,8 @@ func (s *Simulation) tick(limit simtime.Tick) {
 			kept = append(kept, s.active[i])
 		} else {
 			b.active = false
+			b.listed = false
+			s.liveActive--
 			if s.useCalendar {
 				s.cal.remove(b.id)
 			}
@@ -426,6 +529,260 @@ func (s *Simulation) tick(limit simtime.Tick) {
 	// Phase 2: measurement collection at snapshot boundaries.
 	if tick%s.collectEvery == 0 {
 		s.Collector.Snapshot(s.clock.NowSeconds())
+	}
+}
+
+// tickBulk is the bulk-dense variant of tick: instead of sweeping and
+// draining every active agent in lock step, each iteration globally steps
+// only the agents that can act within the window — the calendar entries
+// due by the landing tick plus the pinned set — and every other active
+// agent advances agent-locally: it is left untouched now and caught up in
+// one horizon-bounded bulk replay when it next matters (it is enqueued on,
+// pops due, or a collector boundary / run end lands). The drain walks the
+// popped-due set plus the agents whose queues fired SetNotify since the
+// last drain, instead of the whole sweep. Jump sizing, poll scheduling and
+// per-agent arithmetic are identical to the calendar loop, so results stay
+// bit-identical (Config.NoBulkDense restores the lock-step loop for A/B).
+//
+// The invariants that make laziness exact:
+//
+//   - An active agent's calendar key is the first tick it may act,
+//     computed relative to agentTick (the tick its state has advanced
+//     through). While its key lies beyond the clock it has no event in the
+//     trailing window, so a bulk replay of the deficit is bit-identical to
+//     having stepped it every iteration — the same per-accumulator
+//     operation sequence, merely batched.
+//   - Mutating or reading an agent's tick-dependent state from a
+//     sequential phase is always preceded by a catch-up (AgentBase.Sync in
+//     hardware Enqueues, syncAgent in the flow router), so enqueues land
+//     on state identical to the lock-step loop's.
+//   - Only agents at their event tick can buffer completions, and those
+//     are exactly the popped-due set; enqueued-on agents are in the drain
+//     set via their SetNotify invalidation. Lazy agents therefore never
+//     hold completions, and skipping their Drain is exact.
+func (s *Simulation) tickBulk(limit simtime.Tick) {
+	now := s.clock.NowSeconds()
+
+	// Phase 0 (sequential): due sources inject work. Enqueues catch the
+	// target agents up to the current tick before mutating their queues,
+	// then mark them dirty (and into the drain set).
+	s.pollDue(now)
+
+	if s.rebind {
+		s.engine.Bind(s.agents)
+		s.rebind = false
+	}
+
+	// Fold this tick's invalidations into the calendar before reading its
+	// head. Every dirty agent is current (caught up by its invalidation
+	// hook), so its horizon is relative to the present tick.
+	s.rekeyDirty()
+
+	jump := simtime.Tick(1)
+	if s.fastForward && limit > s.clock.Now()+1 {
+		jump = s.quietTicksCal(limit)
+	}
+	landing := s.clock.Now() + jump
+
+	// The involved set: agents whose scheduled event tick falls within the
+	// window (by jump construction that means exactly at the landing tick),
+	// plus every pinned agent. Popping marks them dirty — their horizon
+	// changes as they act — and into the drain set. rekeyDirty just ran, so
+	// the dirty flag doubles as the involved-set dedup gate.
+	s.invIDs = s.invIDs[:0]
+	for s.cal.len() > 0 && s.cal.minKey() <= landing {
+		id := s.cal.popMin()
+		b := s.agents[id].Base()
+		b.dirty = true
+		s.dirty = append(s.dirty, id)
+		if !b.pendDrain {
+			b.pendDrain = true
+			s.drainPend = append(s.drainPend, id)
+		}
+		s.invIDs = append(s.invIDs, id)
+	}
+	for _, id := range s.pinnedIDs {
+		b := s.agents[id].Base()
+		if !b.dirty {
+			b.dirty = true
+			s.dirty = append(s.dirty, id)
+			s.invIDs = append(s.invIDs, id)
+		}
+		if !b.pendDrain {
+			b.pendDrain = true
+			s.drainPend = append(s.drainPend, id)
+		}
+	}
+
+	// Synchronization points gather everyone: collector boundaries need
+	// exact busy accumulators for every probe, and a landing on the run
+	// end hands callers a fully-advanced simulation. Compaction drops the
+	// tombstones deactivation left behind.
+	fullSync := landing%s.collectEvery == 0 || landing == limit
+	if fullSync {
+		s.compactActive()
+		s.invIDs = append(s.invIDs[:0], s.active...)
+	} else if len(s.invIDs) > 1 {
+		slices.Sort(s.invIDs)
+	}
+	s.invAgents = s.invAgents[:0]
+	for _, id := range s.invIDs {
+		s.invAgents = append(s.invAgents, s.agents[id])
+	}
+
+	// Phase 1 (parallel): advance the involved agents through the window —
+	// catching up any lazy deficit first — in horizon-bounded bulk chunks
+	// with single steps at event ticks. Iterations with nothing involved
+	// (mid-jump landings) skip the engine round-trip entirely.
+	if len(s.invAgents) > 0 {
+		s.advanceTo = landing
+		s.engine.Sweep(s.invAgents, s.advanceFn)
+	}
+	if jump > 1 {
+		s.jumps++
+		s.skipped += uint64(jump - 1)
+	}
+
+	tick := s.clock.AdvanceBy(jump)
+
+	// Phase 3 (sequential): calendar-driven drain in ascending agent-ID
+	// order — the same order the lock-step loop drains, restricted to the
+	// only agents that can hold completions or fresh work. Invalidations
+	// fired during the drain (downstream enqueues) accumulate for the next
+	// iteration's drain set.
+	pend := s.drainPend
+	s.drainPend = s.drainSpare[:0]
+	if len(pend) > 1 {
+		slices.Sort(pend)
+	}
+	for _, id := range pend {
+		s.agents[id].Base().pendDrain = false
+		s.agents[id].Drain(s.drainFn)
+	}
+	s.drainSpare = pend[:0]
+
+	// Deactivation: only involved agents can have gone idle (a lazy agent
+	// still holds the work that parked its calendar entry). Tombstones
+	// remain in the active slice until the next full-sync compaction.
+	for _, id := range s.invIDs {
+		a := s.agents[id]
+		b := a.Base()
+		if b.active && !b.pinned && a.Idle() {
+			b.active = false
+			s.liveActive--
+			s.cal.remove(id)
+		}
+	}
+
+	// Rekey everything invalidated since the jump was sized: agents past
+	// their event tick, downstream agents enqueued during the drain.
+	s.rekeyDirty()
+
+	// Phase 2: measurement collection at snapshot boundaries; fullSync
+	// above already advanced every active agent to this tick.
+	if tick%s.collectEvery == 0 {
+		s.Collector.Snapshot(s.clock.NowSeconds())
+	}
+}
+
+// compactActive drops tombstoned entries from the active slice and restores
+// ascending ID order, so full-sync sweeps serve the engine the sorted live
+// set. Only the bulk-dense loop leaves tombstones; under the lock-step
+// loops this reduces to the sort the per-tick path performs itself.
+func (s *Simulation) compactActive() {
+	kept := s.active[:0]
+	for _, id := range s.active {
+		b := s.agents[id].Base()
+		if b.active {
+			kept = append(kept, id)
+		} else {
+			b.listed = false
+		}
+	}
+	s.active = kept
+	slices.Sort(s.active)
+	s.activeSorted = true
+	s.sweepStale = true
+}
+
+// syncAgent catches a lazily-stepped active agent up to the current tick.
+// It is the sequential-phase entry point of the bulk-dense loop (reached
+// through AgentBase.Sync and the flow router): any enqueue or
+// tick-dependent read must first replay the ticks the involved-only sweeps
+// skipped, on state that — by the calendar invariant — holds no event in
+// the trailing window. Inactive agents have no queue state evolving, so
+// they are left alone (activation re-bases agentTick). The common
+// already-current case exits on one comparison, before any dynamic
+// dispatch — the hook sits on every enqueue.
+func (s *Simulation) syncAgent(id AgentID) {
+	if !s.bulkDense {
+		return
+	}
+	now := s.clock.Now()
+	n := now - s.agentTick[id]
+	if n <= 0 {
+		return
+	}
+	a := s.agents[id]
+	if !a.Base().active {
+		return // stale deficit: re-based on the next activation
+	}
+	s.agentTick[id] = now
+	s.advanceAgent(a, n)
+}
+
+// advanceInvolved is the engine-sweep callback of the bulk-dense loop:
+// advance one involved agent through any lazy deficit up to the window's
+// landing tick (s.advanceTo). It is installed once so per-iteration sweeps
+// need no fresh closure; agentTick writes are per-agent and therefore safe
+// under parallel engines.
+func (s *Simulation) advanceInvolved(a Agent) {
+	id := a.ID()
+	if n := s.advanceTo - s.agentTick[id]; n > 0 {
+		s.agentTick[id] = s.advanceTo
+		s.advanceAgent(a, n)
+	}
+}
+
+// advanceAgent replays n ticks on one agent, bulk-collapsing quiet
+// stretches: each chunk is bounded by the agent's own horizon (the same
+// guarded whole-tick conversion the calendar keys use, so the chunk can
+// never swallow an event), with single steps resolving the event ticks in
+// between — a final single tick skips the horizon scan entirely, which is
+// the dominant case in event-dense stretches. Agents without the
+// BulkStepper capability replay tick by tick. It runs inside the parallel
+// sweep as well as from sequential catch-ups; it only touches the agent's
+// own state.
+func (s *Simulation) advanceAgent(a Agent, n simtime.Tick) {
+	step := s.clock.Step()
+	if n == 1 {
+		a.Step(step)
+		return
+	}
+	bs, canBulk := a.(BulkStepper)
+	for n > 0 {
+		if n == 1 {
+			a.Step(step)
+			return
+		}
+		if !canBulk {
+			a.Step(step)
+			n--
+			continue
+		}
+		k := n
+		if h := a.Horizon(); !math.IsInf(h, 1) {
+			if k = s.clock.WholeTicksBefore(h - ffGuard); k > n {
+				k = n
+			}
+		}
+		if k < 1 {
+			a.Step(step)
+			n--
+			continue
+		}
+		bs.StepN(int(k), step)
+		n -= k
 	}
 }
 
@@ -512,34 +869,30 @@ func (s *Simulation) quietTicks(limit simtime.Tick) simtime.Tick {
 // pollDue runs the due sources' polls and refreshes their schedules. A
 // source is due when the current tick has reached its cached due tick; by
 // the NextPoll contract every poll strictly before that instant is a no-op,
-// so skipping it is exact. Dormant sources (+Inf schedules) are re-consulted
-// every iteration because only a completion callback can re-arm them — the
-// cost is one NextPoll call, and it preserves the pre-calendar pickup
-// timing. Iterations where nothing is due and nothing is dormant cost O(1).
+// so skipping it is exact. Dormant sources (+Inf schedules) stay parked —
+// they are re-consulted only through an explicit RearmSource notification
+// from whichever callback re-arms them, never by per-iteration polling —
+// so iterations where nothing is due cost O(1) regardless of how many
+// sources sleep.
 func (s *Simulation) pollDue(nowSec float64) {
 	now := s.clock.Now()
-	if s.srcMin > now && s.srcDormant == 0 {
+	if s.srcMin > now {
 		return
 	}
 	n := len(s.sources) // sources added by a poll are first polled next tick
 	for i := 0; i < n; i++ {
-		switch due := s.srcDue[i]; {
-		case due <= now:
+		if s.srcDue[i] <= now {
 			s.sources[i].Poll(s, nowSec)
-			s.srcDue[i] = s.srcDueTick(s.sources[i].NextPoll(nowSec), now)
-		case due == neverTick:
 			s.srcDue[i] = s.srcDueTick(s.sources[i].NextPoll(nowSec), now)
 		}
 	}
-	min, dormant := neverTick, 0
+	min := neverTick
 	for _, due := range s.srcDue {
-		if due == neverTick {
-			dormant++
-		} else if due < min {
+		if due < min {
 			min = due
 		}
 	}
-	s.srcMin, s.srcDormant = min, dormant
+	s.srcMin = min
 }
 
 // srcDueTick converts a NextPoll instant into the first tick whose poll may
@@ -587,6 +940,11 @@ func (s *Simulation) agentKey(h float64, now simtime.Tick) simtime.Tick {
 // invalidated — enqueued on, drained into, past its event tick, or
 // deactivated — and clears the dirty set. This is the O(changed) core of
 // the calendar loop: only these agents pay a Horizon call per iteration.
+// An agent's horizon is relative to the tick its state has been stepped
+// through, so under the bulk-dense loop the key is based at agentTick — for
+// agents invalidated through the usual hooks that equals the current tick
+// (enqueues sync first, popped-due agents were swept to the landing), but
+// a bare MarkDirty on a lazily-stepped agent re-bases correctly too.
 func (s *Simulation) rekeyDirty() {
 	if len(s.dirty) == 0 {
 		return
@@ -600,7 +958,11 @@ func (s *Simulation) rekeyDirty() {
 			s.cal.remove(id)
 			continue
 		}
-		s.cal.set(id, s.agentKey(a.Horizon(), now))
+		base := now
+		if s.bulkDense {
+			base = s.agentTick[id]
+		}
+		s.cal.set(id, s.agentKey(a.Horizon(), base))
 	}
 	s.dirty = s.dirty[:0]
 }
@@ -687,10 +1049,11 @@ func (s *Simulation) RunUntilIdle(maxSeconds float64) error {
 // agentsIdle reports whether no agent holds in-flight work. Deactivation
 // keeps every non-idle agent in the active set, so only that set — after a
 // tick, just the pinned agents plus drain-phase activations — needs
-// checking, replacing the full-population scan.
+// checking, replacing the full-population scan. Tombstones the bulk-dense
+// loop leaves between compactions are skipped.
 func (s *Simulation) agentsIdle() bool {
 	for _, id := range s.active {
-		if !s.agents[id].Idle() {
+		if s.agents[id].Base().active && !s.agents[id].Idle() {
 			return false
 		}
 	}

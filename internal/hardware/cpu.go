@@ -75,9 +75,11 @@ func NewCPU(sim *core.Simulation, name string, spec CPUSpec) *CPU {
 // Spec returns the processor specification.
 func (c *CPU) Spec() CPUSpec { return c.spec }
 
-// Enqueue assigns the task to the next socket round-robin. The socket's
-// notify hook forwards the activation/invalidation to the agent.
+// Enqueue assigns the task to the next socket round-robin, after catching
+// up any ticks the bulk-dense loop deferred. The socket's notify hook
+// forwards the activation/invalidation to the agent.
 func (c *CPU) Enqueue(t *queueing.Task) {
+	c.Sync()
 	c.sockets[c.rr].Enqueue(t)
 	c.rr = (c.rr + 1) % len(c.sockets)
 }

@@ -31,9 +31,13 @@ func NewNIC(sim *core.Simulation, name string, gbps float64) *NIC {
 // Rate returns the service rate in bytes/second.
 func (n *NIC) Rate() float64 { return n.rate }
 
-// Enqueue adds a transfer task (Demand in bytes). The queue's notify hook
-// forwards the activation/invalidation to the agent.
-func (n *NIC) Enqueue(t *queueing.Task) { n.q.Enqueue(t) }
+// Enqueue adds a transfer task (Demand in bytes), after catching up any
+// ticks the bulk-dense loop deferred. The queue's notify hook forwards the
+// activation/invalidation to the agent.
+func (n *NIC) Enqueue(t *queueing.Task) {
+	n.Sync()
+	n.q.Enqueue(t)
+}
 
 // Step advances the queue.
 func (n *NIC) Step(dt float64) { n.q.Step(dt, n.BufferDone) }
@@ -74,9 +78,13 @@ func NewSwitch(sim *core.Simulation, name string, gbps float64) *Switch {
 // Rate returns the service rate in bytes/second.
 func (s *Switch) Rate() float64 { return s.rate }
 
-// Enqueue adds a forwarding task (Demand in bytes). The queue's notify
-// hook forwards the activation/invalidation to the agent.
-func (s *Switch) Enqueue(t *queueing.Task) { s.q.Enqueue(t) }
+// Enqueue adds a forwarding task (Demand in bytes), after catching up any
+// ticks the bulk-dense loop deferred. The queue's notify hook forwards the
+// activation/invalidation to the agent.
+func (s *Switch) Enqueue(t *queueing.Task) {
+	s.Sync()
+	s.q.Enqueue(t)
+}
 
 // Step advances the queue.
 func (s *Switch) Step(dt float64) { s.q.Step(dt, s.BufferDone) }
@@ -147,13 +155,15 @@ func (l *Link) Rate() float64 { return l.rate }
 // Latency returns the link latency in seconds.
 func (l *Link) Latency() float64 { return l.q.Latency() }
 
-// Enqueue adds a transfer (Demand in bytes); the queue's notify hook
-// forwards the activation/invalidation to the agent. Enqueueing on a
-// failed link panics — routing must divert traffic to backup paths first.
+// Enqueue adds a transfer (Demand in bytes), after catching up any ticks
+// the bulk-dense loop deferred; the queue's notify hook forwards the
+// activation/invalidation to the agent. Enqueueing on a failed link
+// panics — routing must divert traffic to backup paths first.
 func (l *Link) Enqueue(t *queueing.Task) {
 	if l.failed {
 		panic(fmt.Sprintf("hardware: enqueue on failed link %s", l.Name()))
 	}
+	l.Sync()
 	l.q.Enqueue(t)
 }
 

@@ -59,6 +59,22 @@ type stripeReq struct {
 	disk   int     // owning disk index
 }
 
+// stripeSlab carries one stripe's task and tracking record contiguously:
+// fork hands out pointers into a single per-request slab, so an n-way fork
+// costs two allocations (slab + join) instead of 2n+1 — the dominant
+// allocation site of storage-heavy sweeps.
+type stripeSlab struct {
+	task queueing.Task
+	sr   stripeReq
+}
+
+// extSlab carries an admitted request's internal task and tracking record
+// in one allocation (the ingress analogue of stripeSlab).
+type extSlab struct {
+	task queueing.Task
+	ext  extReq
+}
+
 // diskArray implements the shared mechanics of RAID and SAN: an n-way
 // fork-join of disk pipelines plus the cache-hit routing around them.
 type diskArray struct {
@@ -82,20 +98,31 @@ func newDiskArray(n int, spec DiskSpec, seed uint64, buffer func(*queueing.Task)
 
 // fork splits the external request across all disks with striped demand.
 func (a *diskArray) fork(ext *extReq) {
-	fj := &forkJoin{parent: ext.parent, pending: len(a.disks)}
 	stripe := ext.demand / float64(len(a.disks))
+	slab := make([]stripeSlab, len(a.disks))
+	fj := &forkJoin{parent: ext.parent, pending: len(a.disks)}
 	for i, d := range a.disks {
-		sr := &stripeReq{fj: fj, stripe: stripe, disk: i}
-		d.dcc.Enqueue(&queueing.Task{ID: ext.parent.ID, Demand: stripe, Payload: sr})
+		s := &slab[i]
+		s.sr = stripeReq{fj: fj, stripe: stripe, disk: i}
+		s.task = queueing.Task{ID: ext.parent.ID, Demand: stripe, Payload: &s.sr}
+		d.dcc.Enqueue(&s.task)
 	}
 }
 
 // step advances every disk pipeline, routing stripes from controller cache
 // to drive (or past it on a disk-cache hit) and joining completions.
+// Idle queues are skipped: their Step is a strict no-op (nothing to fill,
+// nothing in service, no busy time accrues), and with one pipeline per
+// spindle the empty calls dominate a busy array's per-tick cost — a
+// request in flight usually occupies one or two of the 2n queues.
 func (a *diskArray) step(dt float64) {
 	for _, d := range a.disks {
-		d.dcc.Step(dt, a.onDiskCtrlDone)
-		d.hdd.Step(dt, a.onDriveDone)
+		if !d.dcc.Idle() {
+			d.dcc.Step(dt, a.onDiskCtrlDone)
+		}
+		if !d.hdd.Idle() {
+			d.hdd.Step(dt, a.onDriveDone)
+		}
 	}
 }
 
@@ -130,9 +157,14 @@ func (a *diskArray) idle() bool {
 }
 
 // canBulk reports whether no disk pipeline produces an event within span.
+// Idle queues trivially cannot (CanBulk on an empty queue is vacuously
+// true), so only occupied pipelines pay the scan.
 func (a *diskArray) canBulk(span float64) bool {
 	for _, d := range a.disks {
-		if !d.dcc.CanBulk(span) || !d.hdd.CanBulk(span) {
+		if !d.dcc.Idle() && !d.dcc.CanBulk(span) {
+			return false
+		}
+		if !d.hdd.Idle() && !d.hdd.CanBulk(span) {
 			return false
 		}
 	}
@@ -140,6 +172,7 @@ func (a *diskArray) canBulk(span float64) bool {
 }
 
 // bulkStep advances every disk pipeline through n quiet ticks in bulk.
+// BulkStep on an idle queue returns immediately, so no elision is needed.
 func (a *diskArray) bulkStep(n int, dt float64) {
 	for _, d := range a.disks {
 		d.dcc.BulkStep(n, dt)
@@ -150,15 +183,20 @@ func (a *diskArray) bulkStep(n int, dt float64) {
 // horizon returns the time until the next event anywhere in the disk
 // pipelines. Internal handoffs (controller cache to drive) count as events:
 // they re-route work between queues, which the per-tick step semantics
-// resolve, so a fast-forward jump must stop before them.
+// resolve, so a fast-forward jump must stop before them. Idle queues
+// report +Inf and are skipped without the call.
 func (a *diskArray) horizon() float64 {
 	h := math.Inf(1)
 	for _, d := range a.disks {
-		if q := d.dcc.Horizon(); q < h {
-			h = q
+		if !d.dcc.Idle() {
+			if q := d.dcc.Horizon(); q < h {
+				h = q
+			}
 		}
-		if q := d.hdd.Horizon(); q < h {
-			h = q
+		if !d.hdd.Idle() {
+			if q := d.hdd.Horizon(); q < h {
+				h = q
+			}
 		}
 	}
 	return h
@@ -228,11 +266,15 @@ func NewRAID(sim *core.Simulation, name string, spec RAIDSpec) *RAID {
 func (r *RAID) Spec() RAIDSpec { return r.spec }
 
 // Enqueue admits a storage request (Demand in bytes) at the array
-// controller cache, whose notify hook forwards the invalidation.
+// controller cache, whose notify hook forwards the invalidation; any ticks
+// the bulk-dense loop deferred are replayed first.
 func (r *RAID) Enqueue(t *queueing.Task) {
+	r.Sync()
 	r.inflight++
-	ext := &extReq{parent: t, demand: t.Demand}
-	r.dacc.Enqueue(&queueing.Task{ID: t.ID, Demand: t.Demand, Payload: ext})
+	e := new(extSlab)
+	e.ext = extReq{parent: t, demand: t.Demand}
+	e.task = queueing.Task{ID: t.ID, Demand: t.Demand, Payload: &e.ext}
+	r.dacc.Enqueue(&e.task)
 }
 
 // complete buffers a finished external request.
@@ -243,12 +285,15 @@ func (r *RAID) complete(t *queueing.Task) {
 
 // Step advances the controller cache, then the disk pipelines. Idle arrays
 // return immediately: with a disk pipeline per spindle the per-tick cost of
-// an idle RAID would otherwise dominate large sweeps.
+// an idle RAID would otherwise dominate large sweeps. An idle controller
+// cache is likewise skipped while stripes drain through the disks.
 func (r *RAID) Step(dt float64) {
 	if r.inflight == 0 {
 		return
 	}
-	r.dacc.Step(dt, r.onCtrlDone)
+	if !r.dacc.Idle() {
+		r.dacc.Step(dt, r.onCtrlDone)
+	}
 	r.array.step(dt)
 }
 
@@ -289,7 +334,11 @@ func (r *RAID) Horizon() float64 {
 	if r.inflight == 0 {
 		return math.Inf(1)
 	}
-	return math.Min(r.dacc.Horizon(), r.array.horizon())
+	h := r.array.horizon()
+	if !r.dacc.Idle() {
+		h = math.Min(r.dacc.Horizon(), h)
+	}
+	return h
 }
 
 // TakeBusy returns drive busy seconds summed across disks since the last
@@ -364,11 +413,15 @@ func NewSAN(sim *core.Simulation, name string, spec SANSpec) *SAN {
 func (s *SAN) Spec() SANSpec { return s.spec }
 
 // Enqueue admits a storage request (Demand in bytes) at the FC switch,
-// whose notify hook forwards the invalidation.
+// whose notify hook forwards the invalidation; any ticks the bulk-dense
+// loop deferred are replayed first.
 func (s *SAN) Enqueue(t *queueing.Task) {
+	s.Sync()
 	s.inflight++
-	ext := &extReq{parent: t, demand: t.Demand}
-	s.fcsw.Enqueue(&queueing.Task{ID: t.ID, Demand: t.Demand, Payload: ext})
+	e := new(extSlab)
+	e.ext = extReq{parent: t, demand: t.Demand}
+	e.task = queueing.Task{ID: t.ID, Demand: t.Demand, Payload: &e.ext}
+	s.fcsw.Enqueue(&e.task)
 }
 
 // complete buffers a finished external request.
@@ -378,14 +431,22 @@ func (s *SAN) complete(t *queueing.Task) {
 }
 
 // Step advances the FC switch, controller cache, arbitrated loop and the
-// disk pipelines in pipeline order. Idle SANs return immediately.
+// disk pipelines in pipeline order. Idle SANs return immediately, and
+// idle stage queues are skipped — a request in flight occupies one stage
+// at a time, so most of the pipeline is a strict no-op each tick.
 func (s *SAN) Step(dt float64) {
 	if s.inflight == 0 {
 		return
 	}
-	s.fcsw.Step(dt, s.onFCSwitchDone)
-	s.dacc.Step(dt, s.onCtrlDone)
-	s.fcal.Step(dt, s.onLoopDone)
+	if !s.fcsw.Idle() {
+		s.fcsw.Step(dt, s.onFCSwitchDone)
+	}
+	if !s.dacc.Idle() {
+		s.dacc.Step(dt, s.onCtrlDone)
+	}
+	if !s.fcal.Idle() {
+		s.fcal.Step(dt, s.onLoopDone)
+	}
 	s.array.step(dt)
 }
 
@@ -437,9 +498,17 @@ func (s *SAN) Horizon() float64 {
 	if s.inflight == 0 {
 		return math.Inf(1)
 	}
-	h := math.Min(s.fcsw.Horizon(), s.dacc.Horizon())
-	h = math.Min(h, s.fcal.Horizon())
-	return math.Min(h, s.array.horizon())
+	h := s.array.horizon()
+	if !s.fcsw.Idle() {
+		h = math.Min(s.fcsw.Horizon(), h)
+	}
+	if !s.dacc.Idle() {
+		h = math.Min(s.dacc.Horizon(), h)
+	}
+	if !s.fcal.Idle() {
+		h = math.Min(s.fcal.Horizon(), h)
+	}
+	return h
 }
 
 // TakeBusy returns drive busy seconds summed across disks since last call.

@@ -32,13 +32,15 @@ type CaseConfig struct {
 	DisableClients    bool
 	DisableBackground bool
 	// NoFastForward forces the plain tick-by-tick loop; NoCalendar keeps
-	// fast-forward but restores the scan-based jump sizing. Results are
-	// bit-identical in all three loop modes. NoThinning forces per-tick
+	// fast-forward but restores the scan-based jump sizing; NoBulkDense
+	// keeps the calendar but restores lock-step sweeps and drains. Results
+	// are bit-identical in all four loop modes. NoThinning forces per-tick
 	// Poisson draws in the client workloads — the flag that restores
 	// bit-identity for client scenarios (thinning preserves the arrival
 	// law, not the RNG draw sequence).
 	NoFastForward bool
 	NoCalendar    bool
+	NoBulkDense   bool
 	NoThinning    bool
 }
 
@@ -115,6 +117,7 @@ func buildCaseStudy(name string, cfg CaseConfig, traits map[string]dcTraits,
 		Engine:        cfg.Engine,
 		NoFastForward: cfg.NoFastForward,
 		NoCalendar:    cfg.NoCalendar,
+		NoBulkDense:   cfg.NoBulkDense,
 		NoThinning:    cfg.NoThinning,
 	})
 	spec, err := caseInfraSpec(cfg, traits)
@@ -339,7 +342,9 @@ func (cs *CaseStudy) attachDaemons(idxHeadroom float64) {
 		cs.Sync[master] = sync
 		cs.Idx[master] = idx
 		cs.Sim.AddSource(sync)
-		cs.Sim.AddSource(idx)
+		// Keep the handle: the daemon parks its schedule while a build runs
+		// and re-arms it through RearmSource from the completion callback.
+		idx.Handle = cs.Sim.AddSource(idx)
 	}
 }
 

@@ -37,6 +37,7 @@ type DayNightConfig struct {
 	// Loop A/B switches, see CaseConfig.
 	NoFastForward bool
 	NoCalendar    bool
+	NoBulkDense   bool
 	NoThinning    bool
 }
 
@@ -89,6 +90,7 @@ func RunDayNight(cfg DayNightConfig) (*DayNightResult, error) {
 		Engine:        cfg.Engine,
 		NoFastForward: cfg.NoFastForward,
 		NoCalendar:    cfg.NoCalendar,
+		NoBulkDense:   cfg.NoBulkDense,
 		NoThinning:    cfg.NoThinning,
 	})
 	defer sim.Shutdown()

@@ -147,6 +147,101 @@ func TestNoThinningBitIdentityWithClients(t *testing.T) {
 	}
 }
 
+// TestBulkDenseEquivalence proves the bulk-dense loop — involved-only
+// sweeps with agent-local catch-up and the calendar-driven drain — is a
+// pure performance change: the validation scenario, a dense business-hour
+// consolidation slice with interactive clients, and the day-night client
+// scenario must all produce bit-identical completed-operation counts,
+// response records and collector series against Config.NoBulkDense, under
+// the sequential reference and both parallel engines. Thinning stays on:
+// it is orthogonal to sweep scheduling, so the RNG draw sequences already
+// agree.
+func TestBulkDenseEquivalence(t *testing.T) {
+	for _, tc := range ffEngines() {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Run("validation", func(t *testing.T) {
+				run := func(noBulk bool) *ValidationResult {
+					res, err := RunValidation(ValidationConfig{
+						Experiment: 1, Seed: 42, Engine: tc.mk(),
+						LaunchFor: 45, RunFor: 75, SteadyStart: 30, SteadyEnd: 45,
+						NoBulkDense: noBulk,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				ref, got := run(true), run(false)
+				if ref.CompletedOps != got.CompletedOps {
+					t.Errorf("completed ops: %d vs %d", ref.CompletedOps, got.CompletedOps)
+				}
+				sameResponses(t, ref.Responses, got.Responses)
+				sameSeries(t, "clients", ref.Clients, got.Clients)
+				for tier, s := range ref.CPU {
+					sameSeries(t, "cpu:"+tier, s, got.CPU[tier])
+				}
+			})
+			t.Run("consolidation-dense", func(t *testing.T) {
+				if testing.Short() && tc.name != "sequential" {
+					t.Skip("dense consolidation engine matrix skipped in -short")
+				}
+				run := func(noBulk bool) *CaseStudy {
+					cs, err := NewConsolidation(CaseConfig{
+						Step: 0.01, Seed: 7, Scale: 0.25,
+						StartHour: 13, EndHour: 14, // the global peak: the dense regime
+						Engine: tc.mk(), NoBulkDense: noBulk,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					cs.Sim.RunFor(180)
+					cs.Sim.Shutdown()
+					return cs
+				}
+				ref, got := run(true), run(false)
+				if r, g := ref.Sim.CompletedOps(), got.Sim.CompletedOps(); r != g {
+					t.Errorf("completed ops: %d vs %d", r, g)
+				}
+				rj, rs := ref.Sim.FastForwardStats()
+				gj, gs := got.Sim.FastForwardStats()
+				if rj != gj || rs != gs {
+					t.Errorf("jump stats diverged: %d/%d vs %d/%d (jump sizing must be unchanged)", rj, rs, gj, gs)
+				}
+				sameResponses(t, ref.Sim.Responses, got.Sim.Responses)
+				sameCollector(t, ref.Sim.Collector, got.Sim.Collector)
+			})
+			t.Run("day-night", func(t *testing.T) {
+				if testing.Short() && tc.name != "sequential" {
+					t.Skip("day-night engine matrix skipped in -short")
+				}
+				hours := 24.0
+				if testing.Short() {
+					hours = 6
+				}
+				run := func(noBulk bool) *DayNightResult {
+					res, err := RunDayNight(DayNightConfig{
+						Seed: 42, Hours: hours, NoBulkDense: noBulk, Engine: tc.mk(),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				ref, got := run(true), run(false)
+				if ref.CompletedOps != got.CompletedOps {
+					t.Errorf("completed ops: %d vs %d", ref.CompletedOps, got.CompletedOps)
+				}
+				if ref.Jumps != got.Jumps || ref.SkippedTicks != got.SkippedTicks {
+					t.Errorf("jump stats diverge: %d/%d vs %d/%d",
+						ref.Jumps, ref.SkippedTicks, got.Jumps, got.SkippedTicks)
+				}
+				sameResponses(t, ref.Responses, got.Responses)
+				sameCollector(t, ref.Sim.Collector, got.Sim.Collector)
+			})
+		})
+	}
+}
+
 // TestDayNightLoopEquivalence pins the two guarantees of the day-night
 // scenario. With thinning on, the calendar loop and the scan loop consume
 // the identical RNG sequence, so their outputs must be bit-identical —

@@ -74,10 +74,12 @@ type ValidationConfig struct {
 	// Steady-state window for Table 5.2 statistics; defaults [5, 34] min.
 	SteadyStart, SteadyEnd float64
 	// NoFastForward forces the plain tick-by-tick loop; NoCalendar keeps
-	// fast-forward but restores the scan-based jump sizing (A/B
-	// comparisons; results are bit-identical in all three modes).
+	// fast-forward but restores the scan-based jump sizing; NoBulkDense
+	// keeps the calendar but restores lock-step sweeps and drains (A/B
+	// comparisons; results are bit-identical in all four modes).
 	NoFastForward bool
 	NoCalendar    bool
+	NoBulkDense   bool
 }
 
 func (c *ValidationConfig) defaults() error {
@@ -107,6 +109,9 @@ func (c *ValidationConfig) defaults() error {
 type ValidationResult struct {
 	Experiment int
 	Config     ValidationConfig
+	// Sim is the finished (and shut down) simulation, for metric
+	// inspection — the golden-trace harness reads its collector.
+	Sim *core.Simulation
 
 	// Clients is the simulated concurrent-client series (Fig. 5-6).
 	Clients *metrics.Series
@@ -147,6 +152,7 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 		Engine:        cfg.Engine,
 		NoFastForward: cfg.NoFastForward,
 		NoCalendar:    cfg.NoCalendar,
+		NoBulkDense:   cfg.NoBulkDense,
 	})
 	defer sim.Shutdown()
 	inf, err := topology.Build(sim, ValidationInfraSpec())
@@ -180,6 +186,7 @@ func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	res := &ValidationResult{
 		Experiment:   cfg.Experiment,
 		Config:       cfg,
+		Sim:          sim,
 		Clients:      sim.Collector.MustSeries("clients"),
 		CPU:          map[string]*metrics.Series{},
 		SteadyMean:   map[string]float64{},

@@ -87,11 +87,13 @@ const daemonGHz = 2.0
 // Fig. 6-4) are only considered when no primary route survives — which is
 // why they sit at 0% utilization in Tables 6.1 and 7.3.
 func (inf *Infrastructure) Path(from, to string) ([]string, error) {
-	if from == to {
-		return []string{from}, nil
-	}
 	key := wanKey{from, to}
 	if p, ok := inf.routeCache[key]; ok {
+		return p, nil
+	}
+	if from == to {
+		p := []string{from}
+		inf.routeCache[key] = p
 		return p, nil
 	}
 	path := inf.bfs(from, to, false)
@@ -179,7 +181,11 @@ func (inf *Infrastructure) usableLink(from, to string) *hardware.Link {
 // links), destination NIC, then destination processing (memory occupancy,
 // CPU cycles and storage access with cache-hit bypass).
 func (inf *Infrastructure) ExpandHop(from, to Endpoint, cost Cost) (core.MessagePlan, error) {
-	var stages []core.Stage
+	// A hop expands into at most origin NIC+link, the switch/link fabric
+	// along the DC path, destination link+NIC and the processing stages;
+	// presizing for the common single-DC case keeps the append chain to
+	// one allocation.
+	stages := make([]core.Stage, 0, 12)
 	add := func(q core.QueueAgent, demand float64) {
 		if demand > 0 {
 			stages = append(stages, core.Stage{Queue: q, Demand: demand})
@@ -199,8 +205,14 @@ func (inf *Infrastructure) ExpandHop(from, to Endpoint, cost Cost) (core.Message
 		// Daemons attach directly to the DC switch fabric.
 	}
 
-	// Network fabric: switches and WAN links along the DC path.
-	if net > 0 {
+	// Network fabric: switches and WAN links along the DC path. The
+	// same-DC case — the bulk of intra-platform traffic — touches only the
+	// local switch, without a route lookup.
+	switch {
+	case net <= 0:
+	case from.dc == to.dc:
+		add(from.dc.Switch, net)
+	default:
 		path, err := inf.Path(from.dc.Name, to.dc.Name)
 		if err != nil {
 			return core.MessagePlan{}, err
@@ -235,16 +247,17 @@ func (inf *Infrastructure) ExpandHop(from, to Endpoint, cost Cost) (core.Message
 	case epServer:
 		add(to.server.Link, net)
 		add(to.server.NIC, net)
-		stages = append(stages, inf.serverProcessing(to.server, cost)...)
+		stages = inf.appendServerProcessing(stages, to.server, cost)
 	}
 	return core.MessagePlan{Stages: stages}, nil
 }
 
-// serverProcessing builds the destination-holon stages at a server: memory
+// appendServerProcessing appends the destination-holon stages at a server
+// into the hop's stage slice (no intermediate allocation): memory
 // occupancy held across CPU service and the storage access, with the
 // storage stage bypassed on a memory cache hit (Fig. 3-5).
-func (inf *Infrastructure) serverProcessing(srv *Server, cost Cost) []core.Stage {
-	var stages []core.Stage
+func (inf *Infrastructure) appendServerProcessing(stages []core.Stage, srv *Server, cost Cost) []core.Stage {
+	start := len(stages)
 	if cost.CPUCycles > 0 {
 		stages = append(stages, core.Stage{Queue: srv.CPU, Demand: cost.CPUCycles})
 	}
@@ -258,9 +271,9 @@ func (inf *Infrastructure) serverProcessing(srv *Server, cost Cost) []core.Stage
 			)
 		}
 	}
-	if len(stages) > 0 && cost.MemBytes > 0 {
+	if len(stages) > start && cost.MemBytes > 0 {
 		mem, bytes := srv.Mem, cost.MemBytes
-		stages[0].Begin = func() { mem.Acquire(bytes) }
+		stages[start].Begin = func() { mem.Acquire(bytes) }
 		last := &stages[len(stages)-1]
 		last.End = func() { mem.Release(bytes) }
 	}
