@@ -21,17 +21,48 @@
 //
 // # Quick start
 //
-//	sim := gdisim.NewSimulation(gdisim.SimConfig{Step: 0.01, Seed: 1})
-//	inf, err := gdisim.Build(sim, spec) // spec: data centers, tiers, WAN
-//	inf.RegisterProbes(sim.Collector)
-//	// attach workloads (gdisim.AppWorkload / SeriesLauncher) and daemons
-//	sim.RunFor(3600)
-//	fmt.Println(sim.Collector.MustSeries("cpu:NA:app").Mean(0, 3600))
+// The primary entry point is the declarative experiment surface: one
+// Experiment value describes the infrastructure, the workloads, the run
+// window, the engine and the seed, and Run compiles and executes it into a
+// uniform Result of series, response tables and run statistics:
 //
-// The thesis' evaluations are packaged as ready-made scenarios:
-// RunValidation (Chapter 5), NewConsolidation (Chapter 6) and
-// NewMultiMaster (Chapter 7). See cmd/validate, cmd/consolidate and
-// cmd/multimaster for complete table/figure regeneration.
+//	e, err := gdisim.NewExperiment("what-if",
+//		gdisim.WithInfra(spec),            // data centers, tiers, WAN
+//		gdisim.WithWindow(9, 17),          // GMT business-hours window
+//		gdisim.WithSeed(1),
+//		gdisim.WithAccessMatrix(gdisim.SingleMaster(dcs, "NA")),
+//		gdisim.WithWorkload(gdisim.ExperimentWorkload{
+//			App: "PDM", DC: "NA",
+//			Users:          gdisim.BusinessDay(500, 9, 17, 25),
+//			OpsPerUserHour: 8,
+//			Ops:            ops, // cascade operations (gdisim.SeqOp, ...)
+//			Gauges:         true,
+//		}),
+//	)
+//	res, err := e.Run()
+//	fmt.Println(res.Stats.CompletedOps, res.Series["cpu:NA:app"].Mean(0, 8*3600))
+//
+// On top of a single experiment, NewSweep expands a parameter grid into
+// independent simulations fanned out across a worker pool, each point
+// seeded by SplitMix64 derivation so results are bit-identical regardless
+// of worker count:
+//
+//	sr, err := gdisim.NewSweep("capacity", base).
+//		Vary("dcs.NA.app.cores", 8, 16, 32).
+//		Vary("wan.NA-EU.mbps", 45, 155).
+//		Run(0) // 0 = one worker per CPU
+//	sr.WriteCSV(os.Stdout)
+//
+// JSON scenario documents (gdisim.LoadScenario) compile to the same
+// Experiment type through ExperimentFromDocument — one surface whether the
+// scenario comes from Go code or a document; `gdisim -doc file.json
+// [-sweep path=v1,v2 ...]` is the CLI for it.
+//
+// The thesis' evaluations are packaged as ready-made scenarios built on
+// the experiment API: RunValidation (Chapter 5), NewConsolidation
+// (Chapter 6), NewMultiMaster (Chapter 7) and RunDayNight. See
+// cmd/validate, cmd/consolidate and cmd/multimaster for complete
+// table/figure regeneration.
 package gdisim
 
 import (
@@ -42,6 +73,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dispatch"
+	"repro/internal/experiment"
 	"repro/internal/hardware"
 	"repro/internal/metrics"
 	"repro/internal/queueing"
@@ -49,6 +81,80 @@ import (
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
+
+// Experiment API: the declarative scenario surface and the sweep runner.
+type (
+	// Experiment is a complete, runnable scenario description assembled
+	// from functional options (see NewExperiment).
+	Experiment = experiment.Experiment
+	// ExperimentOption mutates an experiment under assembly.
+	ExperimentOption = experiment.Option
+	// ExperimentWorkload declares one application workload at one DC.
+	ExperimentWorkload = experiment.Workload
+	// ExperimentDaemons declares the background daemons per master DC.
+	ExperimentDaemons = experiment.Daemons
+	// ExperimentRun is a compiled experiment ready for time to advance.
+	ExperimentRun = experiment.Run
+	// ExperimentResult is the uniform harvest of one experiment run.
+	ExperimentResult = experiment.Result
+	// LoopFlags carries the time-loop A/B switches.
+	LoopFlags = experiment.LoopFlags
+	// Sweep expands a parameter grid into concurrent independent runs.
+	Sweep = experiment.Sweep
+	// SweepResult aggregates a sweep run with per-point rows.
+	SweepResult = experiment.SweepResult
+	// SweepVariant is one point of a VaryFunc mutator axis.
+	SweepVariant = experiment.Variant
+	// SweepColumn is one metric column of the sweep CSV export.
+	SweepColumn = experiment.Column
+	// RunStats is the run-counter snapshot carried by every Result.
+	RunStats = core.RunStats
+)
+
+// NewExperiment assembles an experiment from options and validates it.
+func NewExperiment(name string, opts ...ExperimentOption) (*Experiment, error) {
+	return experiment.New(name, opts...)
+}
+
+// NewSweep creates a parameter sweep over experiments assembled by base;
+// see Sweep.Vary / Sweep.VaryFunc / Sweep.Run.
+func NewSweep(name string, base func() (*Experiment, error)) *Sweep {
+	return experiment.NewSweep(name, base)
+}
+
+// ExperimentFromDocument compiles a JSON scenario document into an
+// experiment — the same surface Go-built scenarios use.
+func ExperimentFromDocument(d *ScenarioDocument) (*Experiment, error) {
+	return experiment.FromDocument(d)
+}
+
+// LoadExperiment reads a scenario document from a JSON file and compiles
+// it into an experiment.
+func LoadExperiment(path string) (*Experiment, error) {
+	return experiment.LoadDocument(path)
+}
+
+// Experiment assembly options, re-exported from internal/experiment.
+var (
+	WithInfra        = experiment.WithInfra
+	WithStep         = experiment.WithStep
+	WithCollectEvery = experiment.WithCollectEvery
+	WithSeed         = experiment.WithSeed
+	WithEngine       = experiment.WithEngine
+	WithWindow       = experiment.WithWindow
+	WithDuration     = experiment.WithDuration
+	WithLoopFlags    = experiment.WithLoopFlags
+	WithAccessMatrix = experiment.WithAccessMatrix
+	WithWorkload     = experiment.WithWorkload
+	WithDaemons      = experiment.WithDaemons
+	WithProbes       = experiment.WithProbes
+	WithSetup        = experiment.WithSetup
+)
+
+// DeriveSeed derives an independent sub-stream seed from a base seed by
+// SplitMix64 — the seed-derivation contract behind per-workload RNG
+// streams and per-sweep-point seeds.
+func DeriveSeed(base, stream uint64) uint64 { return core.DeriveSeed(base, stream) }
 
 // Simulation core.
 type (

@@ -14,17 +14,43 @@ import (
 	"repro/internal/workload"
 )
 
-// Document is a complete simulator input: the infrastructure plus the
-// application workloads to impose on it.
+// Document is a complete simulator input: the infrastructure, the
+// application workloads and background daemons to impose on it, and the
+// run parameters (window, seed, step, engine). A document compiles to a
+// runnable experiment through experiment.FromDocument — the same surface
+// Go-built scenarios use, so a JSON file and an option-assembled
+// experiment with the same content produce the same Result.
 type Document struct {
 	// Name labels the scenario.
 	Name string `json:"name"`
+	// Seed is the base seed every derived random stream descends from.
+	Seed uint64 `json:"seed,omitempty"`
+	// Step is the time-loop granularity in seconds (0 selects the default).
+	Step float64 `json:"step,omitempty"`
+	// Engine selects the sweep parallelization: "" or "sequential",
+	// "scattergather:<threads>", or "hdispatch:<threads>[:<setSize>]".
+	Engine string `json:"engine,omitempty"`
+	// Window bounds the simulated span; nil selects the full day [0, 24).
+	Window *WindowSpec `json:"window,omitempty"`
 	// Infrastructure is the hardware and topology specification.
 	Infrastructure topology.InfraSpec `json:"infrastructure"`
 	// Workloads describe the applications per data center.
 	Workloads []WorkloadSpec `json:"workloads,omitempty"`
+	// Daemons declares the SYNCHREP/INDEXBUILD background daemons.
+	Daemons *DaemonsSpec `json:"daemons,omitempty"`
 	// AccessMatrix maps client DCs to owner-DC request fractions.
 	AccessMatrix workload.AccessMatrix `json:"accessMatrix,omitempty"`
+}
+
+// WindowSpec is the JSON form of a run window: either a GMT hour window
+// [startHour, endHour) — workload and growth curves are shifted so the
+// simulation starts at startHour — or a plain duration in seconds.
+type WindowSpec struct {
+	StartHour int `json:"startHour,omitempty"`
+	EndHour   int `json:"endHour,omitempty"`
+	// RunSeconds, when positive, selects a fixed-length run instead of an
+	// hour window; StartHour/EndHour must then be zero.
+	RunSeconds float64 `json:"runSeconds,omitempty"`
 }
 
 // WorkloadSpec is the JSON form of one application workload at one DC.
@@ -33,6 +59,32 @@ type WorkloadSpec struct {
 	DC             string         `json:"dc"`
 	Users          workload.Curve `json:"users"`
 	OpsPerUserHour float64        `json:"opsPerUserHour"`
+	// Weights biases the operation mix; empty selects a uniform mix.
+	Weights []float64 `json:"weights,omitempty"`
+	// Ops names the operation set ("CAD", "VIS", "PDM"); empty selects the
+	// set named like the app.
+	Ops string `json:"ops,omitempty"`
+	// Stream sets the workload's RNG stream identity; 0 derives it from
+	// app@dc. Two workloads sharing app and dc must declare distinct
+	// non-zero streams.
+	Stream uint64 `json:"stream,omitempty"`
+}
+
+// DaemonsSpec is the JSON form of the background-daemon declaration.
+type DaemonsSpec struct {
+	// Masters lists the data centers running a SYNCHREP and an INDEXBUILD
+	// daemon each.
+	Masters []string `json:"masters"`
+	// GrowthMBh gives each data center's hourly data-generation curve in
+	// MB/hour (GMT).
+	GrowthMBh map[string]workload.Curve `json:"growthMBh,omitempty"`
+	// SyncIntervalMin / IndexGapMin override the thesis defaults (15 / 5).
+	SyncIntervalMin float64 `json:"syncIntervalMin,omitempty"`
+	IndexGapMin     float64 `json:"indexGapMin,omitempty"`
+	// IndexHeadroom derives the index server's per-byte cost from the
+	// master's peak owned generation rate (the Fig. 6-14 calibration);
+	// zero keeps the background default.
+	IndexHeadroom float64 `json:"indexHeadroom,omitempty"`
 }
 
 // Validate checks the document beyond JSON well-formedness.
@@ -56,6 +108,41 @@ func (d *Document) Validate() error {
 		}
 		if w.OpsPerUserHour <= 0 {
 			return fmt.Errorf("config: workload %s/%s needs a positive rate", w.App, w.DC)
+		}
+	}
+	if d.Step < 0 {
+		return fmt.Errorf("config: document %s has a negative step", d.Name)
+	}
+	if w := d.Window; w != nil {
+		switch {
+		case w.RunSeconds < 0:
+			return fmt.Errorf("config: document %s has a negative run length", d.Name)
+		case w.RunSeconds > 0 && (w.StartHour != 0 || w.EndHour != 0):
+			return fmt.Errorf("config: document %s sets both runSeconds and an hour window", d.Name)
+		case w.RunSeconds == 0 && (w.StartHour < 0 || w.EndHour <= w.StartHour || w.EndHour > 24):
+			return fmt.Errorf("config: document %s has a bad hour window [%d, %d)",
+				d.Name, w.StartHour, w.EndHour)
+		}
+	}
+	if dm := d.Daemons; dm != nil {
+		if len(dm.Masters) == 0 {
+			return fmt.Errorf("config: document %s declares daemons without masters", d.Name)
+		}
+		for _, m := range dm.Masters {
+			if !names[m] {
+				return fmt.Errorf("config: document %s: daemon master %q is not a data center", d.Name, m)
+			}
+		}
+		for dc := range dm.GrowthMBh {
+			if !names[dc] {
+				return fmt.Errorf("config: document %s: growth curve for unknown DC %q", d.Name, dc)
+			}
+		}
+		if dm.SyncIntervalMin < 0 || dm.IndexGapMin < 0 || dm.IndexHeadroom < 0 {
+			return fmt.Errorf("config: document %s has negative daemon parameters", d.Name)
+		}
+		if d.AccessMatrix == nil {
+			return fmt.Errorf("config: document %s declares daemons without an access matrix", d.Name)
 		}
 	}
 	if d.AccessMatrix != nil {

@@ -113,6 +113,7 @@ type Simulation struct {
 	Responses *metrics.Responses
 
 	collectEvery simtime.Tick
+	seed         uint64
 	rng          *rand.Rand
 
 	fastForward bool   // event-horizon jumps enabled (Config.NoFastForward off)
@@ -189,6 +190,7 @@ func NewSimulation(cfg Config) *Simulation {
 		Collector:    metrics.NewCollector(),
 		Responses:    metrics.NewResponses(),
 		collectEvery: simtime.Tick(cfg.CollectEvery),
+		seed:         cfg.Seed,
 		rng:          rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
 		gaugeIdx:     make(map[string]Gauge),
 		fastForward:  !cfg.NoFastForward,
@@ -208,7 +210,14 @@ func (s *Simulation) Clock() *simtime.Clock { return s.clock }
 
 // RNG returns the simulation's deterministic random stream. It must only be
 // used from sequential phases (sources, expansion, completion callbacks).
+// Components that need their own stream should not consume draws from it —
+// that couples them to every other consumer's draw count; they derive an
+// independent seed with DeriveSeed(Seed(), stream) instead.
 func (s *Simulation) RNG() *rand.Rand { return s.rng }
+
+// Seed returns the seed the simulation was configured with — the base that
+// sub-RNG creation sites pass to DeriveSeed.
+func (s *Simulation) Seed() uint64 { return s.seed }
 
 // Thinning reports whether arrival thinning is enabled (Config.NoThinning
 // off). Sources that can trade per-tick draws for sampled inter-arrival
@@ -1022,6 +1031,42 @@ func (s *Simulation) quietTicksCal(limit simtime.Tick) simtime.Tick {
 // loop iteration always advances).
 func (s *Simulation) FastForwardStats() (jumps, skippedTicks uint64) {
 	return s.jumps, s.skipped
+}
+
+// RunStats is a point-in-time snapshot of a simulation's run counters — the
+// uniform harvest the experiment layer folds into every Result so scenario
+// code stops re-assembling the numbers from individual accessors.
+type RunStats struct {
+	// Seconds is the simulated time reached; Ticks the whole steps taken.
+	Seconds float64 `json:"seconds"`
+	Ticks   int64   `json:"ticks"`
+	// CompletedOps counts finished operations — the headline number of the
+	// engine determinism contract.
+	CompletedOps uint64 `json:"completed_ops"`
+	// ActiveFlows / ActiveAgents describe the in-flight state at snapshot
+	// time (zero after a drained run).
+	ActiveFlows  int `json:"active_flows"`
+	ActiveAgents int `json:"active_agents"`
+	// Agents is the registered agent population.
+	Agents int `json:"agents"`
+	// Jumps / SkippedTicks are the event-horizon fast-forward statistics:
+	// how many jumps the loop took and how many whole ticks they skipped.
+	Jumps        uint64 `json:"jumps"`
+	SkippedTicks uint64 `json:"skipped_ticks"`
+}
+
+// Stats snapshots the simulation's run counters.
+func (s *Simulation) Stats() RunStats {
+	return RunStats{
+		Seconds:      s.clock.NowSeconds(),
+		Ticks:        int64(s.clock.Now()),
+		CompletedOps: s.completedOps,
+		ActiveFlows:  s.activeFlows,
+		ActiveAgents: s.liveActive,
+		Agents:       len(s.agents),
+		Jumps:        s.jumps,
+		SkippedTicks: s.skipped,
+	}
 }
 
 // RunFor advances the simulation by d simulated seconds.

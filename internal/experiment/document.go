@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/background"
+	"repro/internal/cascade"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// FromDocument compiles a JSON scenario document into an experiment — the
+// one-surface guarantee of the experiment API: a document and a Go-built
+// experiment with the same content produce the same Result, because both
+// reduce to the same Experiment value before anything is simulated.
+func FromDocument(d *config.Document) (*Experiment, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	opts := []Option{
+		WithInfra(d.Infrastructure),
+		WithSeed(d.Seed),
+	}
+	if d.Step > 0 {
+		opts = append(opts, WithStep(d.Step))
+	}
+	if d.Engine != "" {
+		mk, err := ParseEngine(d.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: document %s: %w", d.Name, err)
+		}
+		opts = append(opts, WithEngine(mk))
+	}
+	switch w := d.Window; {
+	case w == nil:
+		opts = append(opts, WithWindow(0, 24))
+	case w.RunSeconds > 0:
+		opts = append(opts, WithDuration(w.RunSeconds))
+	default:
+		opts = append(opts, WithWindow(w.StartHour, w.EndHour))
+	}
+	if d.AccessMatrix != nil {
+		opts = append(opts, WithAccessMatrix(d.AccessMatrix))
+	}
+	dcNames := make([]string, 0, len(d.Infrastructure.DCs))
+	for _, dc := range d.Infrastructure.DCs {
+		dcNames = append(dcNames, dc.Name)
+	}
+	for _, w := range d.Workloads {
+		ew := Workload{
+			App:            w.App,
+			DC:             w.DC,
+			Users:          w.Users,
+			OpsPerUserHour: w.OpsPerUserHour,
+			Weights:        w.Weights,
+			Stream:         w.Stream,
+			Gauges:         true,
+		}
+		name := w.Ops
+		if name == "" {
+			name = w.App
+		}
+		fn, err := OpsByName(name, w.DC)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: document %s: workload %s@%s: %w", d.Name, w.App, w.DC, err)
+		}
+		ew.OpsFn = fn
+		ew.OpsKey = name + "@" + w.DC
+		if d.AccessMatrix == nil {
+			// Without a document-level access matrix every workload
+			// manipulates files owned by its own data center.
+			ew.APM = workload.SingleMaster(dcNames, w.DC)
+		}
+		opts = append(opts, WithWorkload(ew))
+	}
+	if dm := d.Daemons; dm != nil {
+		growth := background.GrowthModel{}
+		for dc, c := range dm.GrowthMBh {
+			growth[dc] = c
+		}
+		opts = append(opts, WithDaemons(Daemons{
+			Masters:         dm.Masters,
+			Growth:          growth,
+			SyncIntervalSec: dm.SyncIntervalMin * 60,
+			IndexGapSec:     dm.IndexGapMin * 60,
+			IndexHeadroom:   dm.IndexHeadroom,
+		}))
+	}
+	return New(d.Name, opts...)
+}
+
+// LoadDocument reads a scenario document from a JSON file and compiles it.
+func LoadDocument(path string) (*Experiment, error) {
+	d, err := config.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromDocument(d)
+}
+
+// OpsByName resolves a named operation set to an OpsFn. The calibrated CAD
+// set is built against the workload's own data center (local = master for
+// calibration purposes — the APM still decides per-launch ownership); VIS
+// and PDM are infrastructure-independent.
+func OpsByName(name, dc string) (func(*topology.Infrastructure, float64) ([]cascade.Op, error), error) {
+	switch name {
+	case "CAD":
+		return func(inf *topology.Infrastructure, step float64) ([]cascade.Op, error) {
+			home := inf.DC(dc)
+			return apps.CalibratedCADOps(inf, home, home, step)
+		}, nil
+	case "VIS":
+		return func(*topology.Infrastructure, float64) ([]cascade.Op, error) {
+			return apps.VISOps(), nil
+		}, nil
+	case "PDM":
+		return func(*topology.Infrastructure, float64) ([]cascade.Op, error) {
+			return apps.PDMOps(), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown operation set %q (have CAD, VIS, PDM)", name)
+}
+
+// ParseEngine parses an engine selector string: "" or "sequential" for the
+// reference engine, "scattergather:<threads>" for classic Scatter-Gather,
+// "hdispatch:<threads>" or "hdispatch:<threads>:<setSize>" for H-Dispatch.
+// The returned factory builds a fresh engine per call, as sweeps require.
+func ParseEngine(s string) (func() core.Engine, error) {
+	kind, rest, _ := strings.Cut(s, ":")
+	switch kind {
+	case "", "sequential":
+		if rest != "" {
+			return nil, fmt.Errorf("engine %q: sequential takes no parameters", s)
+		}
+		return nil, nil
+	case "scattergather", "scatter-gather":
+		threads, err := strconv.Atoi(rest)
+		if err != nil || threads < 1 {
+			return nil, fmt.Errorf("engine %q: want scattergather:<threads>", s)
+		}
+		return func() core.Engine { return dispatch.NewScatterGather(threads) }, nil
+	case "hdispatch", "h-dispatch":
+		tPart, setPart, hasSet := strings.Cut(rest, ":")
+		threads, err := strconv.Atoi(tPart)
+		if err != nil || threads < 1 {
+			return nil, fmt.Errorf("engine %q: want hdispatch:<threads>[:<setSize>]", s)
+		}
+		setSize := 0
+		if hasSet {
+			if setSize, err = strconv.Atoi(setPart); err != nil || setSize < 1 {
+				return nil, fmt.Errorf("engine %q: want hdispatch:<threads>[:<setSize>]", s)
+			}
+		}
+		return func() core.Engine { return dispatch.NewHDispatch(threads, setSize) }, nil
+	}
+	return nil, fmt.Errorf("unknown engine %q (have sequential, scattergather:<n>, hdispatch:<n>[:<set>])", s)
+}

@@ -1,0 +1,304 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/config"
+	"repro/internal/hardware"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// testSpec is a compact two-tier data center: enough for the PDM cascade
+// (clients <-> app <-> db) while staying fast to simulate.
+func testSpec() topology.InfraSpec {
+	srv := func(cores int) topology.ServerSpec {
+		return topology.ServerSpec{
+			CPU:     hardware.CPUSpec{Sockets: 1, Cores: cores, GHz: 2.5},
+			MemGB:   32,
+			NICGbps: 10,
+			RAID: &hardware.RAIDSpec{
+				Disks: 2, Disk: hardware.DiskSpec{CtrlGbps: 4, MBps: 150, HitRate: 0.1},
+				CtrlGbps: 4, HitRate: 0.05,
+			},
+		}
+	}
+	local := hardware.LinkSpec{Gbps: 10, LatencyMS: 0.45}
+	return topology.InfraSpec{
+		DCs: []topology.DCSpec{{
+			Name: "NA", SwitchGbps: 20,
+			ClientLink: hardware.LinkSpec{Gbps: 10, LatencyMS: 0.5},
+			Tiers: []topology.TierSpec{
+				{Name: "app", Servers: 2, Server: srv(8), LocalLink: local},
+				{Name: "db", Servers: 1, Server: srv(8), LocalLink: local},
+			},
+		}},
+		Clients: map[string]topology.ClientSpec{
+			"NA": {Slots: 32, NICGbps: 1, GHz: 2.5, DiskMBs: 120},
+		},
+	}
+}
+
+// testOptions assembles a small PDM experiment running a few simulated
+// minutes — the shared fixture of the experiment and sweep tests.
+func testOptions(extra ...Option) []Option {
+	opts := []Option{
+		WithInfra(testSpec()),
+		WithSeed(11),
+		WithDuration(300),
+		WithAccessMatrix(workload.SingleMaster([]string{"NA"}, "NA")),
+		WithWorkload(Workload{
+			App: "PDM", DC: "NA",
+			Users:          workload.BusinessDay(40, 0, 24, 40),
+			OpsPerUserHour: 30,
+			OpsFn:          mustOps("PDM", "NA"),
+			OpsKey:         "PDM",
+			Gauges:         true,
+		}),
+	}
+	return append(opts, extra...)
+}
+
+func mustOps(name, dc string) func(*topology.Infrastructure, float64) ([]cascade.Op, error) {
+	fn, err := OpsByName(name, dc)
+	if err != nil {
+		panic(err)
+	}
+	return fn
+}
+
+// TestExperimentRunEndToEnd drives the primary surface: assemble, run,
+// harvest. The run must complete operations, register the infrastructure
+// and workload probes, and report coherent run statistics.
+func TestExperimentRunEndToEnd(t *testing.T) {
+	e, err := New("smoke", testOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CompletedOps == 0 {
+		t.Error("no operations completed")
+	}
+	if res.Stats.Seconds != 300 {
+		t.Errorf("simulated %v seconds, want 300", res.Stats.Seconds)
+	}
+	for _, key := range []string{"cpu:NA:app", "cpu:NA:db", "PDM:NA:active", "PDM:NA:loggedin"} {
+		if res.Series[key] == nil {
+			t.Errorf("series %q not harvested (have %v)", key, res.SeriesKeys())
+		}
+	}
+	if got, want := res.Name, "smoke"; got != want {
+		t.Errorf("result name %q, want %q", got, want)
+	}
+	if res.Responses == nil || len(res.Responses.Keys()) == 0 {
+		t.Error("no response populations recorded")
+	}
+}
+
+// TestExperimentDeterminism: two runs of the same experiment are
+// bit-identical; a different seed diverges.
+func TestExperimentDeterminism(t *testing.T) {
+	digest := func(seed uint64) string {
+		e, err := New("det", testOptions(WithSeed(seed))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Digest()
+	}
+	a, b := digest(7), digest(7)
+	if a != b {
+		t.Errorf("same experiment produced different digests:\n%s\n%s", a, b)
+	}
+	if c := digest(8); c == a {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+// TestExperimentRejectsBadAssembly pins the actionable-error contract of
+// the option surface.
+func TestExperimentRejectsBadAssembly(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"no name", nil, "non-empty name"},
+		{"no infra", []Option{WithDuration(10)}, "WithInfra"},
+		{"no window", []Option{WithInfra(testSpec())}, "run window"},
+		{"window conflict", []Option{WithInfra(testSpec()), WithDuration(10), WithWindow(0, 24)}, "mutually exclusive"},
+		{"bad window", []Option{WithInfra(testSpec()), WithWindow(9, 9)}, "bad hour window"},
+		{"bad step", []Option{WithStep(0)}, "step must be positive"},
+		{"workload unknown DC", []Option{
+			WithInfra(testSpec()), WithDuration(10),
+			WithWorkload(Workload{App: "PDM", DC: "MARS", OpsPerUserHour: 1, OpsFn: mustOps("PDM", "NA")}),
+		}, "unknown DC"},
+		{"workload no mix", []Option{
+			WithInfra(testSpec()), WithDuration(10),
+			WithWorkload(Workload{App: "PDM", DC: "NA", OpsPerUserHour: 1}),
+		}, "operation mix"},
+		{"workload no apm", []Option{
+			WithInfra(testSpec()), WithDuration(10),
+			WithWorkload(Workload{App: "PDM", DC: "NA", OpsPerUserHour: 1, OpsFn: mustOps("PDM", "NA")}),
+		}, "access matrix"},
+		{"daemon unknown master", []Option{
+			WithInfra(testSpec()), WithDuration(10),
+			WithAccessMatrix(workload.SingleMaster([]string{"NA"}, "NA")),
+			WithDaemons(Daemons{Masters: []string{"MARS"}}),
+		}, "not a data center"},
+		{"duplicate workload identity", []Option{
+			WithInfra(testSpec()), WithDuration(10),
+			WithAccessMatrix(workload.SingleMaster([]string{"NA"}, "NA")),
+			WithWorkload(Workload{App: "PDM", DC: "NA", OpsPerUserHour: 1, OpsFn: mustOps("PDM", "NA")}),
+			WithWorkload(Workload{App: "PDM", DC: "NA", OpsPerUserHour: 2, OpsFn: mustOps("PDM", "NA")}),
+		}, "distinct Workload.Stream"},
+	}
+	for _, tc := range cases {
+		name := "bad"
+		if tc.name == "no name" {
+			name = ""
+		}
+		_, err := New(name, tc.opts...)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A weights list mismatching the resolved mix length is a compile
+	// error, not the runtime panic AppWorkload reserves for wiring bugs —
+	// the mix length is only known once OpsFn has run.
+	badWeights, err := New("weights", testOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badWeights.workloads[0].Weights = []float64{1, 2}
+	if _, err := badWeights.Compile(); err == nil || !strings.Contains(err.Error(), "weights") {
+		t.Errorf("mismatched weights accepted: %v", err)
+	}
+
+	// An explicit Stream equal to the other workload's derived hash is the
+	// same stream — validation compares effective streams, not raw fields.
+	_, err = New("hash-collision", testOptions(WithWorkload(Workload{
+		App: "PDM", DC: "NA", OpsPerUserHour: 5,
+		Users:  workload.BusinessDay(10, 0, 24, 10),
+		OpsFn:  mustOps("PDM", "NA"),
+		Stream: workload.EffectiveStream("PDM", "NA", 0),
+	}))...)
+	if err == nil || !strings.Contains(err.Error(), "distinct Workload.Stream") {
+		t.Errorf("explicit stream colliding with the derived hash accepted: %v", err)
+	}
+
+	// Two workloads sharing App and DC are fine once their streams differ.
+	_, err = New("twins", testOptions(WithWorkload(Workload{
+		App: "PDM", DC: "NA", OpsPerUserHour: 5,
+		Users:  workload.BusinessDay(10, 0, 24, 10),
+		OpsFn:  mustOps("PDM", "NA"),
+		OpsKey: "PDM",
+		Stream: 99,
+	}))...)
+	if err != nil {
+		t.Errorf("distinct streams rejected: %v", err)
+	}
+}
+
+// TestDocumentRoundTrip is the one-surface guarantee: a JSON scenario
+// document compiles to the same Result as the equivalent Go-built
+// experiment — byte for byte, via the result digest.
+func TestDocumentRoundTrip(t *testing.T) {
+	doc := &config.Document{
+		Name: "doc-equiv",
+		Seed: 23,
+		Step: 0.01,
+		Window: &config.WindowSpec{
+			RunSeconds: 300,
+		},
+		Infrastructure: testSpec(),
+		Workloads: []config.WorkloadSpec{{
+			App: "PDM", DC: "NA",
+			Users:          workload.BusinessDay(40, 0, 24, 40),
+			OpsPerUserHour: 30,
+		}},
+	}
+
+	// Serialize and re-load the document, so the test covers the JSON wire
+	// format too, not just the in-memory struct.
+	path := t.TempDir() + "/doc.json"
+	if err := doc.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fromDoc, err := LoadDocument(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docRes, err := fromDoc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The Go-built equivalent: same infrastructure, same workload declared
+	// through the option surface (the document defaults to a single-master
+	// matrix per workload DC and gauge probes on).
+	goExp, err := New("doc-equiv",
+		WithInfra(testSpec()),
+		WithSeed(23),
+		WithStep(0.01),
+		WithDuration(300),
+		WithWorkload(Workload{
+			App: "PDM", DC: "NA",
+			Users:          workload.BusinessDay(40, 0, 24, 40),
+			OpsPerUserHour: 30,
+			OpsFn:          mustOps("PDM", "NA"),
+			OpsKey:         "PDM@NA",
+			APM:            workload.SingleMaster([]string{"NA"}, "NA"),
+			Gauges:         true,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goRes, err := goExp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if docRes.Digest() != goRes.Digest() {
+		t.Errorf("document-compiled result diverged from the Go-built equivalent:\ndoc %s (%d ops)\ngo  %s (%d ops)",
+			docRes.Digest(), docRes.Stats.CompletedOps, goRes.Digest(), goRes.Stats.CompletedOps)
+	}
+}
+
+// TestParseEngine pins the engine-selector grammar.
+func TestParseEngine(t *testing.T) {
+	for _, ok := range []string{"", "sequential", "scattergather:4", "scatter-gather:2", "hdispatch:2", "hdispatch:2:64", "h-dispatch:8"} {
+		if _, err := ParseEngine(ok); err != nil {
+			t.Errorf("ParseEngine(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"warp", "scattergather", "scattergather:0", "hdispatch:x", "hdispatch:2:0", "sequential:3"} {
+		if _, err := ParseEngine(bad); err == nil {
+			t.Errorf("ParseEngine(%q) accepted", bad)
+		}
+	}
+	mk, err := ParseEngine("scattergather:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := mk(), mk()
+	if e1 == e2 {
+		t.Error("engine factory returned a shared instance")
+	}
+	e1.Shutdown()
+	e2.Shutdown()
+}

@@ -1,0 +1,519 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Sweep expands a parameter grid over a base experiment into independent
+// simulations and runs them concurrently. Each grid point re-assembles a
+// fresh Experiment from the base factory — points never share a Simulation,
+// an engine, or any mutable state — and runs under a deterministically
+// derived seed (core.DeriveSeed of the base seed and the point index), so
+// per-point results are bit-identical regardless of worker count and
+// completion order.
+//
+// Per-point seeds make points statistically independent replications; the
+// flip side is that cross-point differences mix the swept parameter with
+// arrival noise. For common-random-number comparisons — the same arrival
+// history replayed against every variant — add a single-valued "seed" axis
+// (Vary("seed", s)), which overrides the per-index derivation for every
+// point; add more values to the axis for replicated CRN comparisons.
+type Sweep struct {
+	name string
+	base func() (*Experiment, error)
+	axes []axis
+}
+
+// axis is one grid dimension: either a value axis (a settable parameter
+// path plus values) or a mutator axis (named arbitrary experiment edits).
+type axis struct {
+	path     string
+	values   []float64
+	variants []Variant
+}
+
+func (a axis) name() string { return a.path }
+
+func (a axis) size() int {
+	if len(a.variants) > 0 {
+		return len(a.variants)
+	}
+	return len(a.values)
+}
+
+// Variant is one point of a mutator axis: a label for reporting plus an
+// arbitrary experiment edit.
+type Variant struct {
+	Label string
+	Apply func(*Experiment) error
+}
+
+// NewSweep creates a sweep over experiments assembled by base. The factory
+// runs once per grid point (plus once for validation), so everything it
+// builds is per-point private; expensive shared inputs should be built
+// outside and captured read-only.
+func NewSweep(name string, base func() (*Experiment, error)) *Sweep {
+	return &Sweep{name: name, base: base}
+}
+
+// Vary adds a value axis: the parameter at path takes each value in turn.
+// Paths address the experiment's declarative surface:
+//
+//	seed                          base seed (overrides per-point derivation)
+//	step                          time-loop granularity, seconds
+//	dcs.<dc>.<tier>.cores         per-server core count of a tier
+//	dcs.<dc>.<tier>.servers       server count of a tier
+//	dcs.<dc>.clients.slots        client population slots of a DC
+//	wan.<a>-<b>.mbps              WAN bandwidth between two DCs, Mbps
+//	workloads.<app>.<dc>.ops      operations per user-hour
+//	workloads.<app>.<dc>.peak     population curve rescaled to this peak
+//
+// Unknown paths and empty value lists are rejected by Run with an error
+// naming the offending axis.
+func (s *Sweep) Vary(path string, values ...float64) *Sweep {
+	s.axes = append(s.axes, axis{path: path, values: values})
+	return s
+}
+
+// VaryFunc adds a mutator axis: each variant applies an arbitrary edit to
+// the per-point experiment. The name labels the axis in results and CSV.
+func (s *Sweep) VaryFunc(name string, variants ...Variant) *Sweep {
+	s.axes = append(s.axes, axis{path: name, variants: variants})
+	return s
+}
+
+// PointValue records one axis coordinate of a grid point.
+type PointValue struct {
+	Axis  string
+	Label string  // the variant label, or the formatted value
+	Value float64 // the numeric value (0 for mutator axes)
+}
+
+// PointResult is the outcome of one grid point.
+type PointResult struct {
+	Index  int
+	Seed   uint64
+	Values []PointValue
+	Res    *Result
+	Err    error
+}
+
+// SweepResult aggregates a sweep run.
+type SweepResult struct {
+	Name string
+	// Axes lists the axis names in declaration order (first axis varies
+	// slowest in point order).
+	Axes []string
+	// Points holds one entry per grid point, in point-index order —
+	// independent of the completion order of the worker pool.
+	Points []PointResult
+	// Workers is the pool size the sweep ran with.
+	Workers int
+}
+
+// Validate checks the grid without running anything: the base factory must
+// produce a valid experiment, every axis needs at least one value, and
+// every value-axis path must resolve against the base experiment. It is
+// run by Run; exposed for callers wanting early errors (CLI flag parsing).
+func (s *Sweep) Validate() error {
+	if s.base == nil {
+		return fmt.Errorf("sweep %s: needs a base experiment factory", s.name)
+	}
+	if len(s.axes) == 0 {
+		return fmt.Errorf("sweep %s: needs at least one axis (Vary or VaryFunc)", s.name)
+	}
+	if _, err := s.base(); err != nil {
+		return fmt.Errorf("sweep %s: base experiment: %w", s.name, err)
+	}
+	for _, ax := range s.axes {
+		if ax.size() == 0 {
+			return fmt.Errorf("sweep %s: axis %q has no values", s.name, ax.name())
+		}
+		if len(ax.variants) > 0 {
+			for i, v := range ax.variants {
+				if v.Apply == nil {
+					return fmt.Errorf("sweep %s: axis %q variant %d (%s) has no Apply function",
+						s.name, ax.name(), i, v.Label)
+				}
+			}
+			continue
+		}
+		// Dry-apply every value against a fresh probe experiment so unknown
+		// paths and out-of-range values fail before any simulation is built
+		// — a bad late value must not surface only after the valid points
+		// have already burned their simulation time. Each value gets its own
+		// probe because real points also apply at most one value per axis to
+		// a fresh experiment; relative paths ("peak" rescales the current
+		// curve) would compound if dry-applied cumulatively.
+		for _, v := range ax.values {
+			probe, err := s.base()
+			if err != nil {
+				return fmt.Errorf("sweep %s: base experiment: %w", s.name, err)
+			}
+			if err := applyPath(probe, ax.path, v); err != nil {
+				return fmt.Errorf("sweep %s: %w", s.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Size returns the number of grid points.
+func (s *Sweep) Size() int {
+	if len(s.axes) == 0 {
+		return 0
+	}
+	n := 1
+	for _, ax := range s.axes {
+		n *= ax.size()
+	}
+	return n
+}
+
+// Run validates the grid, expands it, and executes every point on a pool
+// of workers (<= 0 selects GOMAXPROCS). The returned SweepResult orders
+// points by index; the error is non-nil when validation fails or any point
+// failed (joined per-point errors, with the successful points still in the
+// result).
+func (s *Sweep) Run(workers int) (*SweepResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := s.Size()
+	out := &SweepResult{Name: s.name, Points: make([]PointResult, n), Workers: workers}
+	for _, ax := range s.axes {
+		out.Axes = append(out.Axes, ax.name())
+	}
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				out.Points[idx] = s.runPoint(idx)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	var errs []error
+	for i := range out.Points {
+		if err := out.Points[i].Err; err != nil {
+			errs = append(errs, fmt.Errorf("point %d: %w", i, err))
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// runPoint assembles, seeds, mutates and runs one grid point. Each slot of
+// the result slice is written exactly once, by whichever worker drew the
+// index — determinism comes from the per-point derivation, not from
+// scheduling.
+func (s *Sweep) runPoint(idx int) PointResult {
+	pr := PointResult{Index: idx}
+	e, err := s.base()
+	if err != nil {
+		pr.Err = fmt.Errorf("base experiment: %w", err)
+		return pr
+	}
+	// Derive the point seed before applying axes, so a "seed" axis can
+	// still take explicit control of it. Record it immediately: a point
+	// that fails mid-axis-application must still report the seed it would
+	// have run under.
+	e.seed = core.DeriveSeed(e.seed, uint64(idx))
+	pr.Seed = e.seed
+
+	// Decompose the index into axis coordinates, first axis slowest.
+	rem := idx
+	coords := make([]int, len(s.axes))
+	for i := len(s.axes) - 1; i >= 0; i-- {
+		size := s.axes[i].size()
+		coords[i] = rem % size
+		rem /= size
+	}
+	for i, ax := range s.axes {
+		c := coords[i]
+		if len(ax.variants) > 0 {
+			v := ax.variants[c]
+			if err := v.Apply(e); err != nil {
+				pr.Err = fmt.Errorf("axis %q variant %s: %w", ax.name(), v.Label, err)
+				return pr
+			}
+			pr.Values = append(pr.Values, PointValue{Axis: ax.name(), Label: v.Label})
+			continue
+		}
+		val := ax.values[c]
+		if err := applyPath(e, ax.path, val); err != nil {
+			pr.Err = err
+			return pr
+		}
+		pr.Values = append(pr.Values, PointValue{
+			Axis:  ax.name(),
+			Label: strconv.FormatFloat(val, 'g', -1, 64),
+			Value: val,
+		})
+	}
+	pr.Seed = e.seed // a "seed" axis may have overridden the derivation
+	res, err := e.Run()
+	if err != nil {
+		pr.Err = err
+		return pr
+	}
+	// Sweep consumers read the uniform harvest (Stats, Series, Responses,
+	// Digest); dropping the simulation and compile graph here keeps an
+	// N-point SweepResult from pinning N complete simulations — agents,
+	// queues, flow state — in memory for the lifetime of the result. Run a
+	// single Experiment directly when per-run Sim inspection is needed.
+	res.Sim = nil
+	res.Run = nil
+	pr.Res = res
+	return pr
+}
+
+// pathGrammar documents the supported value-axis paths in errors.
+const pathGrammar = "seed | step | dcs.<dc>.<tier>.cores|servers | dcs.<dc>.clients.slots | wan.<a>-<b>.mbps | workloads.<app>.<dc>.ops|peak"
+
+// applyPath sets one settable parameter of the experiment. Errors name the
+// path and what was expected, so a mistyped axis fails with an actionable
+// message instead of a silently unchanged grid.
+func applyPath(e *Experiment, path string, v float64) error {
+	parts := strings.Split(path, ".")
+	switch parts[0] {
+	case "seed":
+		if len(parts) != 1 {
+			return pathErr(path, "seed takes no sub-path")
+		}
+		e.seed = uint64(v)
+		return nil
+	case "step":
+		if len(parts) != 1 {
+			return pathErr(path, "step takes no sub-path")
+		}
+		if v <= 0 {
+			return pathErr(path, "step must be positive")
+		}
+		e.step = v
+		return nil
+	case "dcs":
+		return applyDCPath(e, path, parts, v)
+	case "wan":
+		return applyWANPath(e, path, parts, v)
+	case "workloads":
+		return applyWorkloadPath(e, path, parts, v)
+	}
+	return pathErr(path, fmt.Sprintf("unknown root %q; supported: %s", parts[0], pathGrammar))
+}
+
+func applyDCPath(e *Experiment, path string, parts []string, v float64) error {
+	if len(parts) != 4 {
+		return pathErr(path, "want dcs.<dc>.<tier>.cores|servers or dcs.<dc>.clients.slots")
+	}
+	dcName, tierName, field := parts[1], parts[2], parts[3]
+	var dc *topology.DCSpec
+	for i := range e.infra.DCs {
+		if e.infra.DCs[i].Name == dcName {
+			dc = &e.infra.DCs[i]
+			break
+		}
+	}
+	if dc == nil {
+		return pathErr(path, fmt.Sprintf("unknown DC %q (have %s)", dcName, specDCNames(e.infra)))
+	}
+	if tierName == "clients" && field == "slots" {
+		c, ok := e.infra.Clients[dcName]
+		if !ok {
+			return pathErr(path, fmt.Sprintf("DC %q has no client population", dcName))
+		}
+		if v < 1 {
+			return pathErr(path, "slots must be at least 1")
+		}
+		c.Slots = int(v)
+		e.infra.Clients[dcName] = c
+		return nil
+	}
+	var tier *topology.TierSpec
+	for i := range dc.Tiers {
+		if dc.Tiers[i].Name == tierName {
+			tier = &dc.Tiers[i]
+			break
+		}
+	}
+	if tier == nil {
+		names := make([]string, 0, len(dc.Tiers))
+		for _, t := range dc.Tiers {
+			names = append(names, t.Name)
+		}
+		return pathErr(path, fmt.Sprintf("DC %q has no tier %q (have %s; \"clients\" addresses the client population)",
+			dcName, tierName, strings.Join(names, ", ")))
+	}
+	switch field {
+	case "cores":
+		if v < 1 {
+			return pathErr(path, "cores must be at least 1")
+		}
+		tier.Server.CPU.Cores = int(v)
+	case "servers":
+		if v < 1 {
+			return pathErr(path, "servers must be at least 1")
+		}
+		tier.Servers = int(v)
+	default:
+		return pathErr(path, fmt.Sprintf("unknown tier field %q (want cores or servers)", field))
+	}
+	return nil
+}
+
+func applyWANPath(e *Experiment, path string, parts []string, v float64) error {
+	if len(parts) != 3 || parts[2] != "mbps" {
+		return pathErr(path, "want wan.<a>-<b>.mbps")
+	}
+	a, b, ok := strings.Cut(parts[1], "-")
+	if !ok {
+		return pathErr(path, "want wan.<a>-<b>.mbps")
+	}
+	if v <= 0 {
+		return pathErr(path, "bandwidth must be positive")
+	}
+	found := false
+	for i := range e.infra.WAN {
+		w := &e.infra.WAN[i]
+		if (w.From == a && w.To == b) || (w.From == b && w.To == a) {
+			w.Link.Gbps = v / 1000
+			found = true
+		}
+	}
+	if !found {
+		return pathErr(path, fmt.Sprintf("no WAN connection between %q and %q", a, b))
+	}
+	return nil
+}
+
+func applyWorkloadPath(e *Experiment, path string, parts []string, v float64) error {
+	if len(parts) != 4 {
+		return pathErr(path, "want workloads.<app>.<dc>.ops|peak")
+	}
+	app, dc, field := parts[1], parts[2], parts[3]
+	var w *Workload
+	for i := range e.workloads {
+		if e.workloads[i].App == app && e.workloads[i].DC == dc {
+			w = &e.workloads[i]
+			break
+		}
+	}
+	if w == nil {
+		return pathErr(path, fmt.Sprintf("no workload %s@%s declared", app, dc))
+	}
+	switch field {
+	case "ops":
+		if v <= 0 {
+			return pathErr(path, "operation rate must be positive")
+		}
+		w.OpsPerUserHour = v
+	case "peak":
+		if v < 0 {
+			return pathErr(path, "peak must be non-negative")
+		}
+		peak := w.Users.Peak()
+		if peak <= 0 {
+			return pathErr(path, "workload curve has no positive peak to rescale")
+		}
+		w.Users = w.Users.Scale(v / peak)
+	default:
+		return pathErr(path, fmt.Sprintf("unknown workload field %q (want ops or peak)", field))
+	}
+	return nil
+}
+
+func pathErr(path, detail string) error {
+	return fmt.Errorf("sweep axis %q: %s", path, detail)
+}
+
+func specDCNames(spec *topology.InfraSpec) string {
+	names := make([]string, 0, len(spec.DCs))
+	for _, dc := range spec.DCs {
+		names = append(names, dc.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// Column is one metric column of the sweep CSV export.
+type Column struct {
+	Name  string
+	Value func(*Result) float64
+}
+
+// DefaultColumns are the metric columns every sweep can report.
+var DefaultColumns = []Column{
+	{"completed_ops", func(r *Result) float64 { return float64(r.Stats.CompletedOps) }},
+	{"sim_seconds", func(r *Result) float64 { return r.Stats.Seconds }},
+	{"jumps", func(r *Result) float64 { return float64(r.Stats.Jumps) }},
+	{"skipped_ticks", func(r *Result) float64 { return float64(r.Stats.SkippedTicks) }},
+}
+
+// WriteCSV exports the sweep as one row per point: point index, seed, one
+// column per axis, the metric columns (DefaultColumns when none given) and
+// a trailing error column for failed points.
+func (sr *SweepResult) WriteCSV(w io.Writer, cols ...Column) error {
+	if len(cols) == 0 {
+		cols = DefaultColumns
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"point", "seed"}
+	header = append(header, sr.Axes...)
+	for _, c := range cols {
+		header = append(header, c.Name)
+	}
+	header = append(header, "error")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	for i := range sr.Points {
+		p := &sr.Points[i]
+		rec := []string{strconv.Itoa(p.Index), strconv.FormatUint(p.Seed, 10)}
+		for _, av := range p.Values {
+			rec = append(rec, av.Label)
+		}
+		for len(rec) < 2+len(sr.Axes) {
+			rec = append(rec, "") // failed before all axes were applied
+		}
+		for _, c := range cols {
+			if p.Res != nil {
+				rec = append(rec, strconv.FormatFloat(c.Value(p.Res), 'g', -1, 64))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if p.Err != nil {
+			rec = append(rec, p.Err.Error())
+		} else {
+			rec = append(rec, "")
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	return nil
+}

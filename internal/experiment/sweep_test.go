@@ -1,0 +1,242 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testSweepBase is the 8-point grid base shared by the determinism tests:
+// 4 core counts x 2 operation rates over the small PDM experiment.
+func testSweepBase() func() (*Experiment, error) {
+	return func() (*Experiment, error) { return New("grid", testOptions()...) }
+}
+
+func eightPointSweep() *Sweep {
+	return NewSweep("grid", testSweepBase()).
+		Vary("dcs.NA.app.cores", 2, 4, 8, 16).
+		Vary("workloads.PDM.NA.ops", 20, 40)
+}
+
+// TestSweepDeterminismAcrossWorkers is the headline safety property of the
+// sweep runner: every grid point runs as an independent simulation under a
+// seed derived only from (base seed, point index), so the per-point result
+// digests are bit-identical whether the pool has one worker or eight —
+// whatever order the workers drain the grid in. Run under -race in CI, it
+// also proves points share no mutable state.
+func TestSweepDeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) *SweepResult {
+		res, err := eightPointSweep().Run(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Points) != 8 {
+			t.Fatalf("workers=%d: %d points, want 8", workers, len(res.Points))
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial.Points {
+		s, p := serial.Points[i], parallel.Points[i]
+		if s.Seed != p.Seed {
+			t.Errorf("point %d: seed %d (workers=1) vs %d (workers=8)", i, s.Seed, p.Seed)
+		}
+		if want := core.DeriveSeed(11, uint64(i)); s.Seed != want {
+			t.Errorf("point %d: seed %d, want DeriveSeed(11, %d) = %d", i, s.Seed, i, want)
+		}
+		sd, pd := s.Res.Digest(), p.Res.Digest()
+		if sd != pd {
+			t.Errorf("point %d (%v): digest diverged across worker counts:\n%s\n%s",
+				i, s.Values, sd, pd)
+		}
+		if s.Res.Stats.CompletedOps == 0 {
+			t.Errorf("point %d completed no operations", i)
+		}
+		if s.Res.Sim != nil || s.Res.Run != nil {
+			t.Errorf("point %d retains its simulation: sweep results must drop Sim/Run", i)
+		}
+	}
+	// The grid must actually vary: distinct points, distinct outcomes.
+	if serial.Points[0].Res.Digest() == serial.Points[7].Res.Digest() {
+		t.Error("corner points of the grid produced identical results")
+	}
+}
+
+// TestSweepRejectsInvalidGrids pins the actionable-error contract: unknown
+// axis paths, unknown topology references and empty value lists fail
+// before any simulation runs, naming the offending axis.
+func TestSweepRejectsInvalidGrids(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() *Sweep
+		want string
+	}{
+		{"no axes", func() *Sweep {
+			return NewSweep("s", testSweepBase())
+		}, "at least one axis"},
+		{"empty values", func() *Sweep {
+			return NewSweep("s", testSweepBase()).Vary("dcs.NA.app.cores")
+		}, "has no values"},
+		{"bad late value", func() *Sweep {
+			// Every value is dry-applied: an out-of-range value after valid
+			// ones must fail validation, not burn the grid first.
+			return NewSweep("s", testSweepBase()).Vary("dcs.NA.app.cores", 8, 16, 0)
+		}, "cores must be at least 1"},
+		{"unknown root", func() *Sweep {
+			return NewSweep("s", testSweepBase()).Vary("warp.factor", 9)
+		}, `unknown root "warp"`},
+		{"unknown DC", func() *Sweep {
+			return NewSweep("s", testSweepBase()).Vary("dcs.MARS.app.cores", 8)
+		}, `unknown DC "MARS"`},
+		{"unknown tier", func() *Sweep {
+			return NewSweep("s", testSweepBase()).Vary("dcs.NA.gpu.cores", 8)
+		}, `no tier "gpu"`},
+		{"unknown tier field", func() *Sweep {
+			return NewSweep("s", testSweepBase()).Vary("dcs.NA.app.flux", 8)
+		}, `unknown tier field "flux"`},
+		{"unknown workload", func() *Sweep {
+			return NewSweep("s", testSweepBase()).Vary("workloads.CAD.NA.ops", 8)
+		}, "no workload CAD@NA"},
+		{"no wan", func() *Sweep {
+			return NewSweep("s", testSweepBase()).Vary("wan.NA-EU.mbps", 155)
+		}, `no WAN connection between "NA" and "EU"`},
+		{"nil variant", func() *Sweep {
+			return NewSweep("s", testSweepBase()).VaryFunc("mut", Variant{Label: "x"})
+		}, "no Apply function"},
+		{"bad base", func() *Sweep {
+			return NewSweep("s", func() (*Experiment, error) { return New("broken") }).Vary("step", 0.01)
+		}, "base experiment"},
+	}
+	for _, tc := range cases {
+		s := tc.mk()
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if _, rerr := s.Run(1); rerr == nil {
+			t.Errorf("%s: Run accepted an invalid grid", tc.name)
+		}
+	}
+}
+
+// TestSweepRelativePeakAxis pins that validation dry-applies each value
+// against a fresh probe: "peak" rescales the current curve, so cumulative
+// dry-application would zero the probe's curve at peak=0 and falsely
+// reject the later (individually valid) values.
+func TestSweepRelativePeakAxis(t *testing.T) {
+	s := NewSweep("peaks", testSweepBase()).Vary("workloads.PDM.NA.peak", 0, 40)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("grid of individually valid peak values rejected: %v", err)
+	}
+	res, err := s.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// peak=0 is a legitimate zero-user point; peak=40 must complete work.
+	if ops := res.Points[0].Res.Stats.CompletedOps; ops != 0 {
+		t.Errorf("zero-peak point completed %d operations", ops)
+	}
+	if res.Points[1].Res.Stats.CompletedOps == 0 {
+		t.Error("rescaled point completed nothing")
+	}
+}
+
+// TestSweepVaryFunc covers mutator axes: arbitrary experiment edits run
+// per point, composing with value axes in grid order.
+func TestSweepVaryFunc(t *testing.T) {
+	s := NewSweep("mut", testSweepBase()).
+		VaryFunc("clients",
+			Variant{Label: "slots=16", Apply: func(e *Experiment) error {
+				c := e.infra.Clients["NA"]
+				c.Slots = 16
+				e.infra.Clients["NA"] = c
+				return nil
+			}},
+			Variant{Label: "slots=64", Apply: func(e *Experiment) error {
+				c := e.infra.Clients["NA"]
+				c.Slots = 64
+				e.infra.Clients["NA"] = c
+				return nil
+			}},
+		)
+	res, err := s.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(res.Points))
+	}
+	if res.Points[0].Values[0].Label != "slots=16" || res.Points[1].Values[0].Label != "slots=64" {
+		t.Errorf("variant labels out of order: %+v", res.Points)
+	}
+	// More client slots must register more client agents.
+	if a, b := res.Points[0].Res.Stats.Agents, res.Points[1].Res.Stats.Agents; a >= b {
+		t.Errorf("agent counts %d vs %d: slots axis had no effect", a, b)
+	}
+}
+
+// TestSweepCSV pins the export shape: header, one row per point in index
+// order, axis labels and metric columns filled.
+func TestSweepCSV(t *testing.T) {
+	res, err := NewSweep("csv", testSweepBase()).
+		Vary("dcs.NA.app.cores", 2, 4).
+		Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if got, want := lines[0], "point,seed,dcs.NA.app.cores,completed_ops,sim_seconds,jumps,skipped_ticks,error"; got != want {
+		t.Errorf("header %q, want %q", got, want)
+	}
+	for i, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if fields[0] != []string{"0", "1"}[i] {
+			t.Errorf("row %d: point column %q", i, fields[0])
+		}
+		if fields[2] != []string{"2", "4"}[i] {
+			t.Errorf("row %d: axis column %q", i, fields[2])
+		}
+		if fields[3] == "" || fields[3] == "0" {
+			t.Errorf("row %d: empty completed_ops", i)
+		}
+	}
+}
+
+// TestSweepSizeAndOrder checks grid expansion: row-major point order with
+// the first axis varying slowest.
+func TestSweepSizeAndOrder(t *testing.T) {
+	s := NewSweep("order", testSweepBase()).
+		Vary("dcs.NA.app.cores", 2, 4).
+		Vary("workloads.PDM.NA.ops", 10, 20, 30)
+	if got := s.Size(); got != 6 {
+		t.Fatalf("size %d, want 6", got)
+	}
+	res, err := s.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, p := range res.Points {
+		got = append(got, p.Values[0].Label+"/"+p.Values[1].Label)
+	}
+	want := []string{"2/10", "2/20", "2/30", "4/10", "4/20", "4/30"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("point order %v, want %v", got, want)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package hardware
 import (
 	"fmt"
 	"math/rand/v2"
+
+	"repro/internal/core"
 )
 
 // Memory models the two effects of Fig. 3-5: caching — a cache hit bypasses
@@ -20,7 +22,9 @@ type Memory struct {
 }
 
 // NewMemory creates a memory component with capacity in bytes and a cache
-// hit rate in [0,1]. The rng stream keeps hit decisions deterministic.
+// hit rate in [0,1]. The rng stream keeps hit decisions deterministic:
+// its state is derived from the caller's seed through core.DeriveSeed, so
+// each memory's draws depend only on its own identity.
 func NewMemory(capacity, hitRate float64, seed uint64) *Memory {
 	if capacity <= 0 || hitRate < 0 || hitRate > 1 {
 		panic(fmt.Sprintf("hardware: invalid Memory capacity=%v hitRate=%v", capacity, hitRate))
@@ -28,7 +32,7 @@ func NewMemory(capacity, hitRate float64, seed uint64) *Memory {
 	return &Memory{
 		capacity: capacity,
 		hitRate:  hitRate,
-		rng:      rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb)),
+		rng:      rand.New(rand.NewPCG(core.DeriveSeed(seed, 1), core.DeriveSeed(seed, 2))),
 	}
 }
 

@@ -24,6 +24,23 @@ func (s DiskSpec) validate() error {
 	return nil
 }
 
+// Component tags separating the RNG streams of the storage agents; each
+// agent derives its seeds from (simulation seed, agent ID, tag) through
+// core.DeriveSeed, so cache-hit decisions depend only on the simulation
+// seed and the component's own identity.
+const (
+	tagRAID      = 1 // +1 for the second PCG word
+	tagRAIDArray = 3
+	tagSAN       = 4 // +1 for the second PCG word
+	tagSANArray  = 6
+)
+
+// subSeed derives a component RNG seed from the simulation seed, the owning
+// agent's identity and a component tag.
+func subSeed(sim *core.Simulation, id core.AgentID, tag uint64) uint64 {
+	return core.DeriveSeed(sim.Seed(), uint64(id)<<8|tag)
+}
+
 // diskUnit is the Qdcc -> Qhdd pipeline of one disk (Figs. 3-7, 3-8).
 type diskUnit struct {
 	dcc *queueing.FCFS
@@ -87,7 +104,7 @@ type diskArray struct {
 func newDiskArray(n int, spec DiskSpec, seed uint64, buffer func(*queueing.Task)) *diskArray {
 	a := &diskArray{
 		diskSpec: spec,
-		rng:      rand.New(rand.NewPCG(seed, seed^0x5354524950455253)),
+		rng:      rand.New(rand.NewPCG(core.DeriveSeed(seed, 1), core.DeriveSeed(seed, 2))),
 		buffer:   buffer,
 	}
 	for i := 0; i < n; i++ {
@@ -250,13 +267,13 @@ func NewRAID(sim *core.Simulation, name string, spec RAIDSpec) *RAID {
 	r := &RAID{
 		spec: spec,
 		dacc: queueing.NewFCFS(1, spec.CtrlGbps*1e9/8),
-		rng:  rand.New(rand.NewPCG(uint64(id)+1, 0x52414944)),
+		rng:  rand.New(rand.NewPCG(subSeed(sim, id, tagRAID), subSeed(sim, id, tagRAID+1))),
 	}
 	// The controller cache is the array's ingress: external enqueues (and
 	// only those — the fork-join feeds the per-disk queues internally,
 	// inside the parallel Step phase) forward the invalidation.
 	r.dacc.SetNotify(r.MarkDirty)
-	r.array = newDiskArray(spec.Disks, spec.Disk, uint64(id)+101, r.complete)
+	r.array = newDiskArray(spec.Disks, spec.Disk, subSeed(sim, id, tagRAIDArray), r.complete)
 	r.InitAgent(id, name)
 	sim.AddAgent(r)
 	return r
@@ -397,13 +414,13 @@ func NewSAN(sim *core.Simulation, name string, spec SANSpec) *SAN {
 		fcsw: queueing.NewFCFS(1, spec.FCSwitchGbps*1e9/8),
 		dacc: queueing.NewFCFS(1, spec.CtrlGbps*1e9/8),
 		fcal: queueing.NewFCFS(1, spec.FCALGbps*1e9/8),
-		rng:  rand.New(rand.NewPCG(uint64(id)+1, 0x53414e)),
+		rng:  rand.New(rand.NewPCG(subSeed(sim, id, tagSAN), subSeed(sim, id, tagSAN+1))),
 	}
 	// The FC switch is the SAN's ingress; the downstream queues (dacc,
 	// fcal, disks) are fed by internal handoffs inside the parallel Step
 	// phase and must not carry the hook.
 	s.fcsw.SetNotify(s.MarkDirty)
-	s.array = newDiskArray(spec.Disks, spec.Disk, uint64(id)+101, s.complete)
+	s.array = newDiskArray(spec.Disks, spec.Disk, subSeed(sim, id, tagSANArray), s.complete)
 	s.InitAgent(id, name)
 	sim.AddAgent(s)
 	return s

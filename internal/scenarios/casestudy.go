@@ -3,11 +3,13 @@ package scenarios
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/apps"
 	"repro/internal/background"
 	"repro/internal/cascade"
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/hardware"
 	"repro/internal/metrics"
 	"repro/internal/refdata"
@@ -44,6 +46,9 @@ type CaseConfig struct {
 	NoThinning    bool
 }
 
+// defaults fills the scenario-specific zero values. The shared defaults
+// (step, snapshot interval) and the window validation live at the
+// experiment level now — the config structs are thin adapters.
 func (c *CaseConfig) defaults() error {
 	if c.Step <= 0 {
 		c.Step = 0.01
@@ -51,13 +56,20 @@ func (c *CaseConfig) defaults() error {
 	if c.EndHour == 0 {
 		c.EndHour = 24
 	}
-	if c.StartHour < 0 || c.EndHour <= c.StartHour || c.EndHour > 24 {
-		return fmt.Errorf("scenarios: bad hour window [%d, %d)", c.StartHour, c.EndHour)
-	}
 	if c.Scale <= 0 {
 		c.Scale = 1
 	}
 	return nil
+}
+
+// loopFlags folds the A/B switches into the experiment form.
+func (c *CaseConfig) loopFlags() experiment.LoopFlags {
+	return experiment.LoopFlags{
+		NoFastForward: c.NoFastForward,
+		NoCalendar:    c.NoCalendar,
+		NoBulkDense:   c.NoBulkDense,
+		NoThinning:    c.NoThinning,
+	}
 }
 
 // scaleCores scales a core count, keeping at least one core.
@@ -87,7 +99,10 @@ type dcTraits struct {
 	ClientSlots          int
 }
 
-// CaseStudy is a built consolidation or multiple-master run.
+// CaseStudy is a built consolidation or multiple-master run. It is a thin
+// adapter over the experiment API: buildCaseStudy assembles an
+// experiment.Experiment from the traits and compiles it; the struct keeps
+// the familiar accessors for the cmd binaries and tests.
 type CaseStudy struct {
 	Name    string
 	Cfg     CaseConfig
@@ -98,86 +113,149 @@ type CaseStudy struct {
 	Idx     map[string]*background.IndexDaemon
 	Growth  background.GrowthModel
 	APM     workload.AccessMatrix
+	// Result is the uniform experiment harvest, filled by Run.
+	Result *experiment.Result
 
 	traits map[string]dcTraits
+	run    *experiment.Run
 }
 
-// buildCaseStudy wires the infrastructure, workloads and daemons shared by
-// both case studies.
+// buildCaseStudy assembles the experiment shared by both case studies —
+// infrastructure from traits, one CAD/VIS/PDM workload per client DC, one
+// SYNCHREP + INDEXBUILD daemon pair per master — and compiles it.
 func buildCaseStudy(name string, cfg CaseConfig, traits map[string]dcTraits,
 	apm workload.AccessMatrix, masters []string, idxHeadroom float64) (*CaseStudy, error) {
 
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	sim := core.NewSimulation(core.Config{
-		Step:          cfg.Step,
-		CollectEvery:  int(math.Round(60 / cfg.Step)), // 1-minute snapshots
-		Seed:          cfg.Seed,
-		Engine:        cfg.Engine,
-		NoFastForward: cfg.NoFastForward,
-		NoCalendar:    cfg.NoCalendar,
-		NoBulkDense:   cfg.NoBulkDense,
-		NoThinning:    cfg.NoThinning,
-	})
 	spec, err := caseInfraSpec(cfg, traits)
 	if err != nil {
 		return nil, err
 	}
-	inf, err := topology.Build(sim, spec)
-	if err != nil {
-		return nil, err
+	opts := []experiment.Option{
+		experiment.WithInfra(spec),
+		experiment.WithStep(cfg.Step),
+		experiment.WithCollectEvery(60), // 1-minute snapshots
+		experiment.WithSeed(cfg.Seed),
+		experiment.WithEngineInstance(cfg.Engine),
+		experiment.WithWindow(cfg.StartHour, cfg.EndHour),
+		experiment.WithLoopFlags(cfg.loopFlags()),
+		experiment.WithAccessMatrix(apm),
 	}
-	inf.RegisterProbes(sim.Collector)
 
-	cs := &CaseStudy{
-		Name: name, Cfg: cfg, Sim: sim, Inf: inf,
-		Masters: masters,
-		Sync:    map[string]*background.SyncDaemon{},
-		Idx:     map[string]*background.IndexDaemon{},
-		APM:     apm,
-		traits:  traits,
-	}
-	cs.Growth = background.GrowthModel{}
+	// Growth curves are declared in GMT; the experiment shifts them (and
+	// the workload curves) into the run window at compile time.
+	growth := background.GrowthModel{}
 	for dc, tr := range traits {
 		if tr.GrowthPeakMBh > 0 {
-			cs.Growth[dc] = workload.BusinessDay(tr.GrowthPeakMBh*cfg.Scale,
-				tr.BizStart, tr.BizEnd, tr.GrowthPeakMBh*cfg.Scale*0.05).Shift(cfg.StartHour)
+			growth[dc] = workload.BusinessDay(tr.GrowthPeakMBh*cfg.Scale,
+				tr.BizStart, tr.BizEnd, tr.GrowthPeakMBh*cfg.Scale*0.05)
 		}
 	}
 
 	if !cfg.DisableClients {
-		if err := cs.attachWorkloads(); err != nil {
-			return nil, err
-		}
+		opts = append(opts, caseWorkloads(cfg, spec, traits)...)
 	}
 	if !cfg.DisableBackground {
-		cs.attachDaemons(idxHeadroom)
+		opts = append(opts, experiment.WithDaemons(experiment.Daemons{
+			Masters:         masters,
+			Growth:          growth,
+			SyncIntervalSec: refdata.SynchRepIntervalMin * 60,
+			IndexGapSec:     refdata.IndexBuildGapMin * 60,
+			IndexHeadroom:   idxHeadroom,
+		}))
+	}
+
+	e, err := experiment.New(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	run, err := e.Compile()
+	if err != nil {
+		return nil, err
+	}
+	cs := &CaseStudy{
+		Name: name, Cfg: cfg, Sim: run.Sim, Inf: run.Inf,
+		Masters: masters,
+		Sync:    run.Sync,
+		Idx:     run.Idx,
+		Growth:  run.Growth,
+		APM:     apm,
+		traits:  traits,
+		run:     run,
+	}
+	if cs.Growth == nil {
+		// Background disabled: keep the shifted model available for callers
+		// inspecting the growth curves.
+		cs.Growth = background.GrowthModel{}
+		for dc, c := range growth {
+			cs.Growth[dc] = c.Shift(cfg.StartHour)
+		}
 	}
 	return cs, nil
 }
 
-// indexCyclesPerByte converts the master's peak owned generation rate plus
-// headroom into the per-byte cycle cost of its index server.
-func (cs *CaseStudy) indexCyclesPerByte(master string, headroom float64) float64 {
-	peakMBh := 0.0
-	for h := 0; h < 24; h++ {
-		t := float64(h)*3600 + 1800
-		rate := 0.0
-		// Sorted iteration: summing in map order would make the derived
-		// cycle cost differ by ulps between runs.
-		for _, dc := range cs.Growth.DCs() {
-			rate += cs.Growth.RateMBh(dc, t) * cs.APM[dc][master]
+// caseWorkloads declares the CAD, VIS and PDM Poisson workloads per client
+// DC in sorted DC order. Operation rates: CAD 3.2, VIS 4.8, PDM 8.0
+// operations per user-hour; the CAD mix is calibrated against the built
+// infrastructure (shared across DCs through the "CAD" ops key), VIS and
+// PDM are static.
+func caseWorkloads(cfg CaseConfig, spec topology.InfraSpec, traits map[string]dcTraits) []experiment.Option {
+	cadFn := func(inf *topology.Infrastructure, step float64) ([]cascade.Op, error) {
+		na := inf.DC("NA")
+		return apps.CalibratedCADOps(inf, na, na, step)
+	}
+	visOps := apps.VISOps()
+	pdmOps := apps.PDMOps()
+
+	dcs := make([]string, 0, len(spec.DCs))
+	for _, dc := range spec.DCs {
+		dcs = append(dcs, dc.Name)
+	}
+	sort.Strings(dcs)
+
+	var opts []experiment.Option
+	for _, dc := range dcs {
+		tr := traits[dc]
+		if tr.ClientSlots == 0 {
+			continue
 		}
-		if rate > peakMBh {
-			peakMBh = rate
+		curve := func(peak float64) workload.Curve {
+			return workload.BusinessDay(peak*cfg.Scale, tr.BizStart, tr.BizEnd,
+				peak*cfg.Scale*0.05)
+		}
+		for _, w := range []struct {
+			app     string
+			peak    float64
+			opsHour float64
+		}{
+			{"CAD", tr.CADPeak, 3.2},
+			{"VIS", tr.VISPeak, 4.8},
+			{"PDM", tr.PDMPeak, 8.0},
+		} {
+			if w.peak <= 0 {
+				continue
+			}
+			ew := experiment.Workload{
+				App: w.app, DC: dc,
+				Users:          curve(w.peak),
+				OpsPerUserHour: w.opsHour,
+				OpsKey:         w.app,
+				Gauges:         true,
+			}
+			switch w.app {
+			case "CAD":
+				ew.OpsFn = cadFn
+			case "VIS":
+				ew.Ops = visOps
+			case "PDM":
+				ew.Ops = pdmOps
+			}
+			opts = append(opts, experiment.WithWorkload(ew))
 		}
 	}
-	if peakMBh <= 0 {
-		return background.DefaultIndexCyclesPerByte
-	}
-	throughputBps := peakMBh * headroom * 1e6 / 3600
-	return apps.ServerGHz * 1e9 / throughputBps
+	return opts
 }
 
 // caseInfraSpec materializes the per-DC traits into a topology spec with
@@ -259,99 +337,15 @@ func caseInfraSpec(cfg CaseConfig, traits map[string]dcTraits) (topology.InfraSp
 	return spec, nil
 }
 
-// attachWorkloads wires the CAD, VIS and PDM Poisson workloads per DC.
-// Operation rates: CAD 4, VIS 6, PDM 10 operations per user-hour.
-func (cs *CaseStudy) attachWorkloads() error {
-	cfg := cs.Cfg
-	naDC := cs.Inf.DC("NA")
-	cadOps, err := apps.CalibratedCADOps(cs.Inf, naDC, naDC, cfg.Step)
-	if err != nil {
-		return err
-	}
-	visOps := apps.VISOps()
-	pdmOps := apps.PDMOps()
-	for _, dc := range cs.Inf.DCNames() {
-		tr := cs.traits[dc]
-		if tr.ClientSlots == 0 {
-			continue
-		}
-		curve := func(peak float64) workload.Curve {
-			return workload.BusinessDay(peak*cfg.Scale, tr.BizStart, tr.BizEnd,
-				peak*cfg.Scale*0.05).Shift(cfg.StartHour)
-		}
-		for _, w := range []struct {
-			app     string
-			peak    float64
-			opsHour float64
-			ops     []cascadeOp
-		}{
-			{"CAD", tr.CADPeak, 3.2, cadOps},
-			{"VIS", tr.VISPeak, 4.8, visOps},
-			{"PDM", tr.PDMPeak, 8.0, pdmOps},
-		} {
-			if w.peak <= 0 {
-				continue
-			}
-			src := &workload.AppWorkload{
-				App: w.app, DC: dc,
-				Users:          curve(w.peak),
-				OpsPerUserHour: w.opsHour,
-				Ops:            w.ops,
-				APM:            cs.APM,
-				Inf:            cs.Inf,
-				GaugePrefix:    w.app + ":" + dc,
-			}
-			cs.Sim.AddSource(src)
-			cs.Sim.Collector.Register(cs.Sim.GaugeProbe(w.app + ":" + dc + ":active"))
-			// The loggedin series samples the population curve directly at
-			// each snapshot instant: under thinning the workload is only
-			// polled at arrival instants, so its loggedin gauge goes stale
-			// between arrivals, while the curve is exact in every mode.
-			users, sim := src.Users, cs.Sim
-			cs.Sim.Collector.Register(metrics.Probe{
-				Key:    w.app + ":" + dc + ":loggedin",
-				Sample: func(float64) float64 { return users.At(sim.Clock().NowSeconds()) },
-			})
-		}
-	}
-	return nil
-}
-
-// attachDaemons wires one SYNCHREP and one INDEXBUILD daemon per master.
-// Index-build capacity is provisioned with the given headroom over the
-// master's peak owned data-generation rate: barely above the peak, so
-// backlog accumulates through the busy hours and drains afterwards — the
-// cumulative effect behind Fig. 6-14's ~63-minute peak.
-func (cs *CaseStudy) attachDaemons(idxHeadroom float64) {
-	for _, master := range cs.Masters {
-		sync := &background.SyncDaemon{
-			Inf:      cs.Inf,
-			Master:   master,
-			APM:      cs.APM,
-			Growth:   cs.Growth,
-			Interval: refdata.SynchRepIntervalMin * 60,
-		}
-		idx := &background.IndexDaemon{
-			Inf:           cs.Inf,
-			Master:        master,
-			APM:           cs.APM,
-			Growth:        cs.Growth,
-			Gap:           refdata.IndexBuildGapMin * 60,
-			CyclesPerByte: cs.indexCyclesPerByte(master, idxHeadroom),
-		}
-		cs.Sync[master] = sync
-		cs.Idx[master] = idx
-		cs.Sim.AddSource(sync)
-		// Keep the handle: the daemon parks its schedule while a build runs
-		// and re-arms it through RearmSource from the completion callback.
-		idx.Handle = cs.Sim.AddSource(idx)
-	}
-}
-
-// Run advances the simulation through the configured window of the day.
+// Run advances the simulation through the configured window of the day
+// and harvests the uniform experiment Result into cs.Result.
 func (cs *CaseStudy) Run() {
-	hours := float64(cs.Cfg.EndHour - cs.Cfg.StartHour)
-	cs.Sim.RunFor(hours * 3600)
+	res, err := cs.run.Execute()
+	if err != nil {
+		// Execute only fails on double execution — a caller bug.
+		panic(err)
+	}
+	cs.Result = res
 }
 
 // simWindow translates a GMT hour range into simulation seconds.
@@ -384,6 +378,3 @@ func (cs *CaseStudy) PeakCPUPct(dc, tier string) (pct, gmtHour float64) {
 func (cs *CaseStudy) CPUSeries(dc, tier string) *metrics.Series {
 	return cs.Sim.Collector.MustSeries(fmt.Sprintf("cpu:%s:%s", dc, tier))
 }
-
-// cascadeOp aliases the cascade operation type to keep signatures short.
-type cascadeOp = cascade.Op

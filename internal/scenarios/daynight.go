@@ -2,10 +2,11 @@ package scenarios
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/apps"
+	"repro/internal/cascade"
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -41,10 +42,9 @@ type DayNightConfig struct {
 	NoThinning    bool
 }
 
+// defaults fills the scenario-specific zero values; the shared defaults
+// (step, snapshot interval) live at the experiment level.
 func (c *DayNightConfig) defaults() error {
-	if c.Step <= 0 {
-		c.Step = 0.01
-	}
 	if c.Hours <= 0 {
 		c.Hours = 24
 	}
@@ -69,8 +69,10 @@ func (c *DayNightConfig) defaults() error {
 // DayNightResult gathers the outputs the equivalence and benchmark
 // harnesses compare.
 type DayNightResult struct {
-	Config       DayNightConfig
-	Sim          *core.Simulation
+	Config DayNightConfig
+	Sim    *core.Simulation
+	// Result is the uniform experiment harvest the run came from.
+	Result       *experiment.Result
 	Users        workload.Curve
 	CompletedOps uint64
 	Responses    *metrics.Responses
@@ -78,59 +80,59 @@ type DayNightResult struct {
 	Jumps, SkippedTicks uint64
 }
 
-// RunDayNight executes the day-night client scenario end to end.
+// RunDayNight executes the day-night client scenario end to end. Like the
+// other thesis scenarios it is a thin adapter over the experiment API: one
+// declarative workload on the validation infrastructure, run for the
+// configured span.
 func RunDayNight(cfg DayNightConfig) (*DayNightResult, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	sim := core.NewSimulation(core.Config{
-		Step:          cfg.Step,
-		CollectEvery:  int(math.Round(60 / cfg.Step)), // 1-minute snapshots
-		Seed:          cfg.Seed,
-		Engine:        cfg.Engine,
-		NoFastForward: cfg.NoFastForward,
-		NoCalendar:    cfg.NoCalendar,
-		NoBulkDense:   cfg.NoBulkDense,
-		NoThinning:    cfg.NoThinning,
-	})
-	defer sim.Shutdown()
-	inf, err := topology.Build(sim, ValidationInfraSpec())
-	if err != nil {
-		return nil, err
-	}
-	inf.RegisterProbes(sim.Collector)
-
-	na := inf.DC("NA")
-	ops, err := apps.CalibratedCADOps(inf, na, na, cfg.Step)
-	if err != nil {
-		return nil, err
-	}
 	users := workload.BusinessDay(cfg.PeakUsers, cfg.BizStart, cfg.BizEnd,
 		cfg.PeakUsers*cfg.NightFloorFrac)
-	sim.AddSource(&workload.AppWorkload{
-		App: "CAD", DC: "NA",
-		Users:          users,
-		OpsPerUserHour: cfg.OpsPerUserHour,
-		Ops:            ops,
-		APM:            workload.SingleMaster([]string{"NA"}, "NA"),
-		Inf:            inf,
-		GaugePrefix:    "CAD:NA",
-	})
-	sim.Collector.Register(sim.GaugeProbe("CAD:NA:active"))
-	sim.Collector.Register(metrics.Probe{
-		Key:    "CAD:NA:loggedin",
-		Sample: func(float64) float64 { return users.At(sim.Clock().NowSeconds()) },
-	})
-
-	sim.RunFor(cfg.Hours * 3600)
-
+	opts := []experiment.Option{
+		experiment.WithInfra(ValidationInfraSpec()),
+		experiment.WithSeed(cfg.Seed),
+		experiment.WithEngineInstance(cfg.Engine),
+		experiment.WithDuration(cfg.Hours * 3600),
+		experiment.WithLoopFlags(experiment.LoopFlags{
+			NoFastForward: cfg.NoFastForward,
+			NoCalendar:    cfg.NoCalendar,
+			NoBulkDense:   cfg.NoBulkDense,
+			NoThinning:    cfg.NoThinning,
+		}),
+		experiment.WithAccessMatrix(workload.SingleMaster([]string{"NA"}, "NA")),
+		experiment.WithWorkload(experiment.Workload{
+			App: "CAD", DC: "NA",
+			Users:          users,
+			OpsPerUserHour: cfg.OpsPerUserHour,
+			OpsFn: func(inf *topology.Infrastructure, step float64) ([]cascade.Op, error) {
+				na := inf.DC("NA")
+				return apps.CalibratedCADOps(inf, na, na, step)
+			},
+			Gauges: true,
+		}),
+	}
+	if cfg.Step > 0 {
+		opts = append(opts, experiment.WithStep(cfg.Step))
+	}
+	e, err := experiment.New("daynight", opts...)
+	if err != nil {
+		return nil, err
+	}
+	run, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
 	res := &DayNightResult{
 		Config:       cfg,
-		Sim:          sim,
+		Sim:          run.Sim,
+		Result:       run,
 		Users:        users,
-		CompletedOps: sim.CompletedOps(),
-		Responses:    sim.Responses,
+		CompletedOps: run.Stats.CompletedOps,
+		Responses:    run.Responses,
+		Jumps:        run.Stats.Jumps,
+		SkippedTicks: run.Stats.SkippedTicks,
 	}
-	res.Jumps, res.SkippedTicks = sim.FastForwardStats()
 	return res, nil
 }

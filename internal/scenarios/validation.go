@@ -11,6 +11,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cascade"
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/hardware"
 	"repro/internal/metrics"
 	"repro/internal/refdata"
@@ -104,6 +105,16 @@ func (c *ValidationConfig) defaults() error {
 	return nil
 }
 
+// loopFlags folds the A/B switches into the experiment form — the one
+// translation shared by every legacy config adapter.
+func (c *ValidationConfig) loopFlags() experiment.LoopFlags {
+	return experiment.LoopFlags{
+		NoFastForward: c.NoFastForward,
+		NoCalendar:    c.NoCalendar,
+		NoBulkDense:   c.NoBulkDense,
+	}
+}
+
 // ValidationResult gathers everything the Chapter 5 figures and tables
 // report for one experiment.
 type ValidationResult struct {
@@ -112,6 +123,8 @@ type ValidationResult struct {
 	// Sim is the finished (and shut down) simulation, for metric
 	// inspection — the golden-trace harness reads its collector.
 	Sim *core.Simulation
+	// Result is the uniform experiment harvest the run came from.
+	Result *experiment.Result
 
 	// Clients is the simulated concurrent-client series (Fig. 5-6).
 	Clients *metrics.Series
@@ -140,60 +153,72 @@ type ValidationResult struct {
 	Responses *metrics.Responses
 }
 
-// RunValidation executes one validation experiment end to end.
+// RunValidation executes one validation experiment end to end. The legacy
+// config struct is a thin adapter: it assembles an experiment.Experiment
+// (the primary scenario surface) and harvests the Chapter 5 statistics
+// from its uniform Result.
 func RunValidation(cfg ValidationConfig) (*ValidationResult, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
-	sim := core.NewSimulation(core.Config{
-		Step:          cfg.Step,
-		CollectEvery:  int(math.Round(30 / cfg.Step)), // 30 s snapshot windows (§4.3.1 averages minute-scale windows)
-		Seed:          cfg.Seed + uint64(cfg.Experiment),
-		Engine:        cfg.Engine,
-		NoFastForward: cfg.NoFastForward,
-		NoCalendar:    cfg.NoCalendar,
-		NoBulkDense:   cfg.NoBulkDense,
-	})
-	defer sim.Shutdown()
-	inf, err := topology.Build(sim, ValidationInfraSpec())
+	// series is filled by the setup hook; the response-RMSE harvest below
+	// needs the calibrated operation names.
+	var series map[refdata.SeriesType]workload.Series
+	e, err := experiment.New("validation",
+		experiment.WithInfra(ValidationInfraSpec()),
+		experiment.WithStep(cfg.Step),
+		experiment.WithCollectEvery(30), // 30 s snapshot windows (§4.3.1 averages minute-scale windows)
+		experiment.WithSeed(cfg.Seed+uint64(cfg.Experiment)),
+		experiment.WithEngineInstance(cfg.Engine),
+		experiment.WithDuration(cfg.RunFor),
+		experiment.WithLoopFlags(cfg.loopFlags()),
+		experiment.WithProbes(func(r *experiment.Run) []metrics.Probe {
+			return []metrics.Probe{r.Sim.GaugeProbe("clients")}
+		}),
+		experiment.WithSetup(func(r *experiment.Run) error {
+			na := r.Inf.DC("NA")
+			var err error
+			series, err = apps.CalibratedCADSeries(r.Inf, na, na, cfg.Step)
+			if err != nil {
+				return err
+			}
+			exp := refdata.ValidationExperiments[cfg.Experiment]
+			for i, st := range refdata.SeriesTypes {
+				r.Sim.AddSource(&workload.SeriesLauncher{
+					Series:   series[st],
+					Interval: exp.Interval[st],
+					// Stagger the three launchers so the series types do not
+					// all fire at t=0 and at common multiples.
+					FirstAt:    float64(i) * exp.Interval[st] / 3,
+					Until:      cfg.LaunchFor,
+					GaugeKey:   "clients",
+					NewBinding: func() *cascade.Binding { return cascade.NewBinding(r.Inf, na, na) },
+				})
+			}
+			return nil
+		}),
+	)
 	if err != nil {
 		return nil, err
 	}
-	inf.RegisterProbes(sim.Collector)
-	sim.Collector.Register(sim.GaugeProbe("clients"))
-
-	na := inf.DC("NA")
-	series, err := apps.CalibratedCADSeries(inf, na, na, cfg.Step)
+	run, err := e.Run()
 	if err != nil {
 		return nil, err
 	}
-	exp := refdata.ValidationExperiments[cfg.Experiment]
-	for i, st := range refdata.SeriesTypes {
-		sim.AddSource(&workload.SeriesLauncher{
-			Series:   series[st],
-			Interval: exp.Interval[st],
-			// Stagger the three launchers so the series types do not all
-			// fire at t=0 and at common multiples.
-			FirstAt:    float64(i) * exp.Interval[st] / 3,
-			Until:      cfg.LaunchFor,
-			GaugeKey:   "clients",
-			NewBinding: func() *cascade.Binding { return cascade.NewBinding(inf, na, na) },
-		})
-	}
-
-	sim.RunFor(cfg.RunFor)
+	sim := run.Sim
 
 	res := &ValidationResult{
 		Experiment:   cfg.Experiment,
 		Config:       cfg,
 		Sim:          sim,
+		Result:       run,
 		Clients:      sim.Collector.MustSeries("clients"),
 		CPU:          map[string]*metrics.Series{},
 		SteadyMean:   map[string]float64{},
 		SteadyStd:    map[string]float64{},
 		RMSECPU:      map[string]float64{},
-		CompletedOps: sim.CompletedOps(),
-		Responses:    sim.Responses,
+		CompletedOps: run.Stats.CompletedOps,
+		Responses:    run.Responses,
 	}
 	for _, tier := range refdata.ValidationTiers {
 		res.CPU[tier] = sim.Collector.MustSeries("cpu:NA:" + tier)

@@ -158,7 +158,7 @@ func buildDC(sim *core.Simulation, spec DCSpec) *DataCenter {
 				Name: name,
 				CPU:  hardware.NewCPU(sim, "cpu:"+name, ts.Server.CPU),
 				Mem: hardware.NewMemory(ts.Server.MemGB*1e9, ts.Server.CacheHitRate,
-					uint64(sim.NextAgentID())*2654435761+uint64(i)),
+					core.DeriveSeed(sim.Seed(), uint64(sim.NextAgentID())*2654435761+uint64(i))),
 				NIC:  hardware.NewNIC(sim, "nic:"+name, ts.Server.NICGbps),
 				Link: hardware.NewLink(sim, "llink:"+name, ts.LocalLink),
 				Tier: tier,

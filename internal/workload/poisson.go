@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand/v2"
 	"sort"
@@ -51,6 +52,15 @@ type AppWorkload struct {
 	// distribution-identical, not bit-identical; core.Config.NoThinning
 	// restores bit-identity globally.
 	ThinBelow float64
+	// Stream identifies this workload's RNG stream. The workload's arrival
+	// randomness is seeded with core.DeriveSeed(simulation seed, Stream), so
+	// its draws depend only on the simulation seed and its own identity —
+	// never on how many draws other workloads made, which is what used to
+	// happen when sub-RNGs were seeded by consuming the shared simulation
+	// stream (adding one workload perturbed every later workload's
+	// arrivals). 0 derives the stream from an FNV-1a hash of "App@DC";
+	// set it explicitly when two workloads share that identity.
+	Stream uint64
 
 	cum      []float64
 	rng      *rand.Rand
@@ -60,6 +70,22 @@ type AppWorkload struct {
 	step      float64 // tick size, cached at initialize
 	thinBelow float64 // resolved threshold (0 when thinning disabled)
 	pending   float64 // next committed arrival instant; NaN in per-tick mode
+}
+
+// EffectiveStream resolves a workload's RNG stream identity: the explicit
+// stream when non-zero, otherwise an FNV-1a hash of "app@dc". Callers that
+// must detect stream collisions (the experiment assembly validation)
+// compare effective streams, not raw Stream fields — an explicit Stream
+// equal to another workload's derived hash collides all the same.
+func EffectiveStream(app, dc string, stream uint64) uint64 {
+	if stream != 0 {
+		return stream
+	}
+	h := fnv.New64a()
+	h.Write([]byte(app))
+	h.Write([]byte{'@'})
+	h.Write([]byte(dc))
+	return h.Sum64()
 }
 
 // init prepares the cumulative mix distribution.
@@ -86,9 +112,14 @@ func (w *AppWorkload) initialize(s *core.Simulation) {
 	for i := range w.cum {
 		w.cum[i] /= total
 	}
-	// Derive an independent deterministic stream from the simulation RNG so
-	// multiple workloads stay decoupled.
-	w.rng = rand.New(rand.NewPCG(s.RNG().Uint64(), s.RNG().Uint64()))
+	// Derive an independent deterministic stream from the simulation seed
+	// and this workload's identity, so multiple workloads stay decoupled
+	// and adding or removing one never perturbs another's draws.
+	stream := EffectiveStream(w.App, w.DC, w.Stream)
+	// The second PCG word chains through the first, so adjacent explicit
+	// streams never share a word.
+	seed1 := core.DeriveSeed(s.Seed(), stream)
+	w.rng = rand.New(rand.NewPCG(seed1, core.DeriveSeed(seed1, stream)))
 	if w.GaugePrefix != "" {
 		w.active = s.GaugeHandle(w.GaugePrefix + ":active")
 		w.loggedin = s.GaugeHandle(w.GaugePrefix + ":loggedin")

@@ -58,6 +58,18 @@ func TestExamplesSmoke(t *testing.T) {
 			t.Errorf("quickstart output missing %q:\n%s", want, out)
 		}
 	}
+	if testing.Short() {
+		return
+	}
+	// The whatif example is the 12-point sweep over the experiment API; it
+	// must print every grid row.
+	out = runBinary(t, bins["whatif"])
+	if !strings.Contains(out, "12-point sweep") {
+		t.Errorf("whatif output missing the sweep banner:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got < 15 {
+		t.Errorf("whatif printed %d lines, expected the full grid:\n%s", got, out)
+	}
 }
 
 // TestCommandsSmoke compiles every cmd binary and runs each in its -short
@@ -79,6 +91,9 @@ func TestCommandsSmoke(t *testing.T) {
 		{"consolidate", []string{"-short"}, "Table 6.1"},
 		{"multimaster", []string{"-short"}, "Table 7.3"},
 		{"gdisim", []string{"-short"}, "speedup"},
+		{"gdisim", []string{"-doc", "examples/scenario.json"}, "operations completed"},
+		{"gdisim", []string{"-doc", "examples/scenario.json",
+			"-sweep", "dcs.NA.app.cores=4,8", "-workers", "2"}, "Sweep over"},
 	}
 	for _, tc := range cases {
 		tc := tc
