@@ -97,6 +97,9 @@ func runDocument(path, csvOut string) {
 		res.Name, res.Stats.CompletedOps, res.Stats.Seconds)
 	fmt.Printf("  agents %d, fast-forward jumps %d (%d ticks skipped)\n",
 		res.Stats.Agents, res.Stats.Jumps, res.Stats.SkippedTicks)
+	if res.Faults != nil {
+		fmt.Print(res.Faults)
+	}
 	t := &metrics.Table{
 		Title:   "Collector series",
 		Headers: []string{"series", "samples", "mean", "last"},

@@ -74,6 +74,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/hardware"
 	"repro/internal/metrics"
 	"repro/internal/queueing"
@@ -149,6 +150,46 @@ var (
 	WithDaemons      = experiment.WithDaemons
 	WithProbes       = experiment.WithProbes
 	WithSetup        = experiment.WithSetup
+	WithFault        = experiment.WithFault
+)
+
+// Fault injection: phased chaos scenarios (stabilize -> inject -> recover)
+// built from a composable fault library; every fault transition is a
+// calendar event, so chaos runs compose with fast-forward, thinning and
+// bulk-dense stepping for free. See DESIGN.md, "Fault injection & phased
+// scenarios".
+type (
+	// Fault is one injectable degradation of the fault library.
+	Fault = faults.Fault
+	// FaultInjection schedules one fault: inject at At, recover after
+	// Duration (zero duration elides the injection entirely).
+	FaultInjection = faults.Injection
+	// WANFault fails (magnitude 1) or degrades (magnitude in (0,1)) a WAN
+	// connection between two adjacent DCs.
+	WANFault = faults.WAN
+	// DCFault blacks out (magnitude 1) or derates (magnitude in (0,1)) a
+	// whole data center.
+	DCFault = faults.DC
+	// StorageFault puts a tier's arrays in degraded mode with synthetic
+	// rebuild read traffic.
+	StorageFault = faults.Storage
+	// FailoverFault repoints a SYNCHREP master at a secondary for the
+	// injection window.
+	FailoverFault = faults.Failover
+	// FaultReport is the recovery analysis harvested into Result.Faults:
+	// exact injection/recovery times, peak backlog, time-to-reroute,
+	// time-to-drain, and the fault:-prefixed scenario series.
+	FaultReport = faults.Report
+	// FaultSpec is the JSON form of one scheduled injection in a scenario
+	// document's "faults" array.
+	FaultSpec = config.FaultSpec
+)
+
+// Scenario phases recorded in the fault:phase series of a chaos run.
+const (
+	PhaseStabilize = faults.PhaseStabilize
+	PhaseInject    = faults.PhaseInject
+	PhaseRecover   = faults.PhaseRecover
 )
 
 // DeriveSeed derives an independent sub-stream seed from a base seed by

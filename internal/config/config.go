@@ -40,6 +40,9 @@ type Document struct {
 	Daemons *DaemonsSpec `json:"daemons,omitempty"`
 	// AccessMatrix maps client DCs to owner-DC request fractions.
 	AccessMatrix workload.AccessMatrix `json:"accessMatrix,omitempty"`
+	// Faults schedules chaos injections over the run — each compiles to
+	// the same experiment.WithFault surface Go-built scenarios use.
+	Faults []FaultSpec `json:"faults,omitempty"`
 }
 
 // WindowSpec is the JSON form of a run window: either a GMT hour window
@@ -85,6 +88,76 @@ type DaemonsSpec struct {
 	// master's peak owned generation rate (the Fig. 6-14 calibration);
 	// zero keeps the background default.
 	IndexHeadroom float64 `json:"indexHeadroom,omitempty"`
+}
+
+// FaultSpec is the JSON form of one scheduled fault injection.
+type FaultSpec struct {
+	// Name identifies the injection in reports and sweep axes. Required,
+	// unique within the document.
+	Name string `json:"name"`
+	// Kind selects the fault type: "wan", "dc", "storage" or "failover".
+	Kind string `json:"kind"`
+	// At is the injection time in simulated seconds; Duration the injected
+	// window. A zero duration elides the injection (fault-free baseline).
+	At       float64 `json:"at"`
+	Duration float64 `json:"duration"`
+	// Magnitude is the severity in [0, 1]: 1 is a blackout, fractions are
+	// brownouts/degradation. Storage faults cap it below 1.
+	Magnitude float64 `json:"magnitude,omitempty"`
+	// From/To name the endpoints of a wan fault or the master/secondary of
+	// a failover.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// DC and Tier locate dc and storage faults.
+	DC   string `json:"dc,omitempty"`
+	Tier string `json:"tier,omitempty"`
+	// RebuildMBps is the synthetic rebuild read bandwidth of a storage
+	// fault, MB/s.
+	RebuildMBps float64 `json:"rebuildMBps,omitempty"`
+}
+
+// validateFault checks one fault spec against the document's DC names.
+// Magnitude-range and topology-level checks (does the WAN link exist, is
+// the failover master a daemon) happen at compile time against the built
+// target; here we catch the structural mistakes a document can express.
+func (d *Document) validateFault(f FaultSpec, names map[string]bool, seen map[string]bool) error {
+	if f.Name == "" {
+		return fmt.Errorf("config: document %s: fault without a name", d.Name)
+	}
+	if seen[f.Name] {
+		return fmt.Errorf("config: document %s: duplicate fault name %q", d.Name, f.Name)
+	}
+	seen[f.Name] = true
+	if f.At < 0 || f.Duration < 0 {
+		return fmt.Errorf("config: document %s: fault %s has a negative schedule", d.Name, f.Name)
+	}
+	switch f.Kind {
+	case "wan":
+		if !names[f.From] || !names[f.To] {
+			return fmt.Errorf("config: document %s: fault %s: wan endpoints %q-%q must name data centers",
+				d.Name, f.Name, f.From, f.To)
+		}
+	case "dc":
+		if !names[f.DC] {
+			return fmt.Errorf("config: document %s: fault %s: unknown DC %q", d.Name, f.Name, f.DC)
+		}
+	case "storage":
+		if !names[f.DC] {
+			return fmt.Errorf("config: document %s: fault %s: unknown DC %q", d.Name, f.Name, f.DC)
+		}
+		if f.Tier == "" {
+			return fmt.Errorf("config: document %s: fault %s: storage fault needs a tier", d.Name, f.Name)
+		}
+	case "failover":
+		if !names[f.From] || !names[f.To] {
+			return fmt.Errorf("config: document %s: fault %s: failover %q -> %q must name data centers",
+				d.Name, f.Name, f.From, f.To)
+		}
+	default:
+		return fmt.Errorf("config: document %s: fault %s: unknown kind %q (have wan, dc, storage, failover)",
+			d.Name, f.Name, f.Kind)
+	}
+	return nil
 }
 
 // Validate checks the document beyond JSON well-formedness.
@@ -148,6 +221,12 @@ func (d *Document) Validate() error {
 	if d.AccessMatrix != nil {
 		if err := d.AccessMatrix.Validate(); err != nil {
 			return fmt.Errorf("config: document %s: %w", d.Name, err)
+		}
+	}
+	seenFaults := map[string]bool{}
+	for _, f := range d.Faults {
+		if err := d.validateFault(f, names, seenFaults); err != nil {
+			return err
 		}
 	}
 	return nil

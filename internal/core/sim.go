@@ -82,6 +82,15 @@ type Config struct {
 	// (same arrival law), not bit-identical; NoThinning restores the
 	// bit-identity guarantee for client workloads.
 	NoThinning bool
+	// NoFaults disables fault injection: attachment layers that would
+	// schedule a fault controller (experiment compile) consult
+	// FaultsEnabled and skip it entirely, so the run carries no controller
+	// source, no fault probes and no fault transitions. The resulting run
+	// is bit-identical to one that never declared faults — the equivalence
+	// tests enforce it — making this the A/B flag for chaos scenarios in
+	// the same spirit as NoCalendar/NoBulkDense: healthy baseline vs.
+	// faulted run from one scenario definition.
+	NoFaults bool
 }
 
 // Simulation owns the discrete time loop and everything attached to it:
@@ -120,6 +129,7 @@ type Simulation struct {
 	useCalendar bool   // indexed event calendar + poll scheduler (NoCalendar off)
 	bulkDense   bool   // agent-local bulk stepping + calendar drains (NoBulkDense off)
 	thinning    bool   // sources may thin arrivals (Config.NoThinning off)
+	noFaults    bool   // fault injection disabled (Config.NoFaults on)
 	jumps       uint64 // fast-forward jumps taken
 	skipped     uint64 // whole ticks the jumps fast-forwarded across
 
@@ -197,6 +207,7 @@ func NewSimulation(cfg Config) *Simulation {
 		useCalendar:  !cfg.NoCalendar && !cfg.NoFastForward,
 		bulkDense:    !cfg.NoBulkDense && !cfg.NoCalendar && !cfg.NoFastForward,
 		thinning:     !cfg.NoThinning,
+		noFaults:     cfg.NoFaults,
 		activeSorted: true,
 		srcMin:       neverTick,
 	}
@@ -224,6 +235,12 @@ func (s *Simulation) Seed() uint64 { return s.seed }
 // gaps (workload.AppWorkload) consult it so one simulation-level flag
 // restores the bit-identity guarantee.
 func (s *Simulation) Thinning() bool { return s.thinning }
+
+// FaultsEnabled reports whether fault injection may attach (Config.NoFaults
+// off). Layers that schedule fault controllers consult it before adding
+// any source or probe, so a NoFaults run is structurally — and therefore
+// bit — identical to a fault-free one.
+func (s *Simulation) FaultsEnabled() bool { return !s.noFaults }
 
 // NextAgentID reserves the next agent identifier.
 func (s *Simulation) NextAgentID() AgentID { return AgentID(len(s.agents)) }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dispatch"
+	"repro/internal/faults"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -92,7 +93,37 @@ func FromDocument(d *config.Document) (*Experiment, error) {
 			IndexHeadroom:   dm.IndexHeadroom,
 		}))
 	}
+	if len(d.Faults) > 0 {
+		inj := make([]faults.Injection, 0, len(d.Faults))
+		for _, fs := range d.Faults {
+			fault, err := compileFault(fs)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: document %s: %w", d.Name, err)
+			}
+			inj = append(inj, faults.Injection{
+				Name: fs.Name, Fault: fault, At: fs.At, Duration: fs.Duration,
+			})
+		}
+		opts = append(opts, WithFault(inj...))
+	}
 	return New(d.Name, opts...)
+}
+
+// compileFault maps a document fault spec onto the fault library. The
+// fault's own Validate runs later, at compile time against the built
+// target — this only selects the kind.
+func compileFault(fs config.FaultSpec) (faults.Fault, error) {
+	switch fs.Kind {
+	case "wan":
+		return &faults.WAN{From: fs.From, To: fs.To, Mag: fs.Magnitude}, nil
+	case "dc":
+		return &faults.DC{DC: fs.DC, Mag: fs.Magnitude}, nil
+	case "storage":
+		return &faults.Storage{DC: fs.DC, Tier: fs.Tier, Mag: fs.Magnitude, RebuildMBps: fs.RebuildMBps}, nil
+	case "failover":
+		return &faults.Failover{From: fs.From, To: fs.To}, nil
+	}
+	return nil, fmt.Errorf("fault %s: unknown kind %q", fs.Name, fs.Kind)
 }
 
 // LoadDocument reads a scenario document from a JSON file and compiles it.

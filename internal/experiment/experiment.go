@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/background"
 	"repro/internal/cascade"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/refdata"
 	"repro/internal/topology"
@@ -54,6 +56,7 @@ type Experiment struct {
 	apm       workload.AccessMatrix
 	workloads []Workload
 	daemons   *Daemons
+	faults    []faults.Injection
 	probes    []func(*Run) []metrics.Probe
 	setup     []func(*Run) error
 }
@@ -67,6 +70,10 @@ type LoopFlags struct {
 	NoCalendar    bool
 	NoBulkDense   bool
 	NoThinning    bool
+	// NoFaults skips fault-controller attachment entirely, turning any
+	// chaos scenario back into its healthy baseline — bit-identical to a
+	// run that never declared faults.
+	NoFaults bool
 }
 
 // Workload declares one application workload at one data center, driven by
@@ -269,6 +276,25 @@ func WithDaemons(d Daemons) Option {
 	}
 }
 
+// WithFault schedules fault injections (see internal/faults): each runs
+// inject at At seconds and recover Duration seconds later, with the
+// stabilize -> inject -> recover phase series and recovery metrics
+// harvested into Result.Faults. Faults are cloned at assembly so sweep
+// points mutating magnitude or duration never share fault state. No-op
+// injections (zero magnitude or duration) are elided at compile time,
+// keeping such runs bit-identical to fault-free ones.
+func WithFault(injections ...faults.Injection) Option {
+	return func(e *Experiment) error {
+		for _, inj := range injections {
+			if inj.Fault != nil {
+				inj.Fault = inj.Fault.Clone()
+			}
+			e.faults = append(e.faults, inj)
+		}
+		return nil
+	}
+}
+
 // WithProbes registers extra collector probes once the simulation and
 // topology exist. Infrastructure probes are always registered; this adds
 // scenario-specific ones (gauge series, derived metrics).
@@ -401,6 +427,9 @@ type Run struct {
 	Idx  map[string]*background.IndexDaemon
 	// Growth is the window-shifted growth model driving the daemons.
 	Growth background.GrowthModel
+	// Faults is the attached fault controller; nil when the scenario has
+	// no effective injections (or LoopFlags.NoFaults is set).
+	Faults *faults.Controller
 
 	executed bool
 }
@@ -423,6 +452,7 @@ func (e *Experiment) Compile() (*Run, error) {
 		NoCalendar:    e.flags.NoCalendar,
 		NoBulkDense:   e.flags.NoBulkDense,
 		NoThinning:    e.flags.NoThinning,
+		NoFaults:      e.flags.NoFaults,
 	})
 	inf, err := topology.Build(sim, *e.infra)
 	if err != nil {
@@ -446,6 +476,15 @@ func (e *Experiment) Compile() (*Run, error) {
 		sim.Shutdown()
 		return nil, fmt.Errorf("experiment %s: %w", e.name, err)
 	}
+	// Faults attach after the daemons so failover injections can validate
+	// against the populated Sync map, and before the extra probes so
+	// scenario probes may read the controller through the Run.
+	ctrl, err := faults.Attach(faults.Target{Sim: sim, Infra: inf, Sync: r.Sync}, e.faults)
+	if err != nil {
+		sim.Shutdown()
+		return nil, fmt.Errorf("experiment %s: %w", e.name, err)
+	}
+	r.Faults = ctrl
 	for _, mk := range e.probes {
 		for _, p := range mk(r) {
 			sim.Collector.Register(p)
@@ -647,6 +686,13 @@ type Result struct {
 	Series map[string]*metrics.Series
 	// Responses tracks operation response times by type and location.
 	Responses *metrics.Responses
+	// Faults is the recovery report of a chaos run — applied transition
+	// times, peak backlog, time-to-reroute, time-to-drain and the fault:
+	// series (phase, backlog, backup arrivals). Nil for fault-free runs.
+	// Fault series live here rather than in Series so Digest, which hashes
+	// Series, compares a faulted run against its healthy baseline on the
+	// simulation outcome alone.
+	Faults *faults.Report
 	// Sim is the finished simulation, for inspection beyond the uniform
 	// harvest (gauges, daemon state through Run).
 	Sim *core.Simulation
@@ -665,7 +711,16 @@ func harvest(r *Run) *Result {
 		Run:       r,
 	}
 	for _, key := range r.Sim.Collector.Keys() {
+		// fault: series belong to the fault report, not the ordinary series
+		// set: Digest hashes Series, and the recovery telemetry must not
+		// make a faulted run incomparable with its healthy baseline.
+		if strings.HasPrefix(key, "fault:") {
+			continue
+		}
 		res.Series[key] = r.Sim.Collector.Series(key)
+	}
+	if r.Faults != nil {
+		res.Faults = r.Faults.Finalize()
 	}
 	return res
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/topology"
 )
 
@@ -77,6 +78,14 @@ func NewSweep(name string, base func() (*Experiment, error)) *Sweep {
 //	wan.<a>-<b>.mbps              WAN bandwidth between two DCs, Mbps
 //	workloads.<app>.<dc>.ops      operations per user-hour
 //	workloads.<app>.<dc>.peak     population curve rescaled to this peak
+//	faults.<name>.magnitude       severity of a declared fault injection
+//	faults.<name>.duration        injected window of a declared injection, seconds
+//
+// Fault axes address injections declared by WithFault on the base
+// experiment, by injection name. A magnitude of 0 (or a duration of 0)
+// turns that grid point into the fault-free baseline — the injection is
+// elided at compile time, so the point is bit-identical to a run that
+// never declared the fault.
 //
 // Unknown paths and empty value lists are rejected by Run with an error
 // naming the offending axis.
@@ -290,7 +299,7 @@ func (s *Sweep) runPoint(idx int) PointResult {
 }
 
 // pathGrammar documents the supported value-axis paths in errors.
-const pathGrammar = "seed | step | dcs.<dc>.<tier>.cores|servers | dcs.<dc>.clients.slots | wan.<a>-<b>.mbps | workloads.<app>.<dc>.ops|peak"
+const pathGrammar = "seed | step | dcs.<dc>.<tier>.cores|servers | dcs.<dc>.clients.slots | wan.<a>-<b>.mbps | workloads.<app>.<dc>.ops|peak | faults.<name>.magnitude|duration"
 
 // applyPath sets one settable parameter of the experiment. Errors name the
 // path and what was expected, so a mistyped axis fails with an actionable
@@ -319,6 +328,8 @@ func applyPath(e *Experiment, path string, v float64) error {
 		return applyWANPath(e, path, parts, v)
 	case "workloads":
 		return applyWorkloadPath(e, path, parts, v)
+	case "faults":
+		return applyFaultPath(e, path, parts, v)
 	}
 	return pathErr(path, fmt.Sprintf("unknown root %q; supported: %s", parts[0], pathGrammar))
 }
@@ -439,6 +450,46 @@ func applyWorkloadPath(e *Experiment, path string, parts []string, v float64) er
 		w.Users = w.Users.Scale(v / peak)
 	default:
 		return pathErr(path, fmt.Sprintf("unknown workload field %q (want ops or peak)", field))
+	}
+	return nil
+}
+
+func applyFaultPath(e *Experiment, path string, parts []string, v float64) error {
+	if len(parts) != 3 {
+		return pathErr(path, "want faults.<name>.magnitude|duration")
+	}
+	name, field := parts[1], parts[2]
+	var inj *faults.Injection
+	for i := range e.faults {
+		if e.faults[i].Name == name {
+			inj = &e.faults[i]
+			break
+		}
+	}
+	if inj == nil {
+		names := make([]string, 0, len(e.faults))
+		for _, fi := range e.faults {
+			names = append(names, fi.Name)
+		}
+		return pathErr(path, fmt.Sprintf("no fault injection %q declared (have %s)",
+			name, strings.Join(names, ", ")))
+	}
+	switch field {
+	case "magnitude":
+		mf, ok := inj.Fault.(faults.MagnitudeFault)
+		if !ok {
+			return pathErr(path, fmt.Sprintf("fault %s has no sweepable magnitude", inj.Fault.Describe()))
+		}
+		if err := mf.SetMagnitude(v); err != nil {
+			return pathErr(path, err.Error())
+		}
+	case "duration":
+		if v < 0 {
+			return pathErr(path, "duration must be non-negative (0 elides the injection)")
+		}
+		inj.Duration = v
+	default:
+		return pathErr(path, fmt.Sprintf("unknown fault field %q (want magnitude or duration)", field))
 	}
 	return nil
 }

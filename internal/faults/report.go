@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// InjectionReport records the exact applied times of one injection.
+// InjectedAt/RecoveredAt are -1 when the run ended before the transition
+// fired; StalledOps is the number of operations still in flight at the
+// recovery instant (exact, read inside the recovery poll).
+type InjectionReport struct {
+	Name        string
+	Fault       string
+	InjectedAt  float64
+	RecoveredAt float64
+	StalledOps  int
+}
+
+// Report is the recovery analysis of a chaos run, harvested into the
+// experiment Result. The scalar metrics are derived from the fault:
+// series at collector-snapshot resolution — they answer "which snapshot
+// first shows X", so their granularity is the collect interval; the
+// per-injection applied times are exact.
+type Report struct {
+	Injections []InjectionReport
+
+	// BaselineBacklog is the in-flight operation count at the last
+	// snapshot before the first injection — the healthy load level the
+	// backlog must drain back to.
+	BaselineBacklog float64
+	// PeakBacklog is the maximum in-flight operation count observed from
+	// the first injection onward, and PeakBacklogAt its snapshot time.
+	PeakBacklog   float64
+	PeakBacklogAt float64
+	// TimeToReroute is the delay, in seconds after the first injection,
+	// until diverted traffic first appears on a backup link; -1 when no
+	// diversion was observed (no backups, or the fault needed none).
+	TimeToReroute float64
+	// TimeToDrain is the delay, in seconds after the last recovery, until
+	// the backlog first returns to the baseline level; -1 when the run
+	// ended with the backlog still elevated.
+	TimeToDrain float64
+
+	// Series holds the fault:-prefixed collector series (phase, backlog,
+	// backup arrivals), lifted out of the ordinary result series so result
+	// digests stay comparable with fault-free runs.
+	Series map[string]*metrics.Series
+}
+
+// Finalize computes the recovery metrics from the recorded series and
+// returns the report. Call it once, after the run.
+func (c *Controller) Finalize() *Report {
+	col := c.tg.Sim.Collector
+	r := &Report{
+		Injections:    append([]InjectionReport(nil), c.reports...),
+		TimeToReroute: -1,
+		TimeToDrain:   -1,
+		Series:        make(map[string]*metrics.Series, 3),
+	}
+	for _, k := range col.Keys() {
+		if strings.HasPrefix(k, "fault:") {
+			r.Series[k] = col.MustSeries(k)
+		}
+	}
+
+	firstInject, lastRecover := math.Inf(1), -1.0
+	for _, ir := range r.Injections {
+		if ir.InjectedAt >= 0 && ir.InjectedAt < firstInject {
+			firstInject = ir.InjectedAt
+		}
+		if ir.RecoveredAt > lastRecover {
+			lastRecover = ir.RecoveredAt
+		}
+	}
+	if math.IsInf(firstInject, 1) {
+		return r // run ended before any injection fired
+	}
+
+	backlog := r.Series[KeyBacklog]
+	if backlog != nil {
+		for i := range backlog.T {
+			t, v := backlog.T[i], backlog.V[i]
+			if t < firstInject {
+				r.BaselineBacklog = v
+				continue
+			}
+			if v > r.PeakBacklog {
+				r.PeakBacklog, r.PeakBacklogAt = v, t
+			}
+			if r.TimeToDrain < 0 && lastRecover >= 0 && t >= lastRecover && v <= r.BaselineBacklog {
+				r.TimeToDrain = t - lastRecover
+			}
+		}
+	}
+
+	if arr := r.Series[KeyBackupArrivals]; arr != nil {
+		atInject := 0.0
+		for i := range arr.T {
+			t, v := arr.T[i], arr.V[i]
+			if t <= firstInject {
+				atInject = v
+				continue
+			}
+			if v > atInject {
+				r.TimeToReroute = t - firstInject
+				break
+			}
+		}
+	}
+	return r
+}
+
+// String renders the report as the human-readable block the CLI prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault report (%d injections)\n", len(r.Injections))
+	for _, ir := range r.Injections {
+		fmt.Fprintf(&b, "  %-12s %-38s inject %8.1fs  recover %8.1fs  stalled %d\n",
+			ir.Name, ir.Fault, ir.InjectedAt, ir.RecoveredAt, ir.StalledOps)
+	}
+	fmt.Fprintf(&b, "  baseline backlog %.0f ops, peak %.0f ops at %.1fs\n",
+		r.BaselineBacklog, r.PeakBacklog, r.PeakBacklogAt)
+	if r.TimeToReroute >= 0 {
+		fmt.Fprintf(&b, "  time-to-reroute %.1fs", r.TimeToReroute)
+	} else {
+		fmt.Fprintf(&b, "  time-to-reroute n/a")
+	}
+	if r.TimeToDrain >= 0 {
+		fmt.Fprintf(&b, "  time-to-drain %.1fs\n", r.TimeToDrain)
+	} else {
+		fmt.Fprintf(&b, "  time-to-drain n/a (backlog still elevated)\n")
+	}
+	return b.String()
+}

@@ -75,6 +75,24 @@ func NewCPU(sim *core.Simulation, name string, spec CPUSpec) *CPU {
 // Spec returns the processor specification.
 func (c *CPU) Spec() CPUSpec { return c.spec }
 
+// Derate scales every core's service rate to factor times the healthy rate
+// (a browned-out data center running on reduced power). The factor is
+// absolute against the spec rate, not cumulative; factor 1 restores full
+// speed. In-service tasks finish their remaining cycles at the new rate.
+// Callers must invoke it from a sequential phase and bracket it with
+// Sync/MarkDirty on this agent, which the topology-layer helpers do.
+// Panics on factor outside (0, 1] — a fully dead DC is modeled by
+// isolating it, not by a zero rate.
+func (c *CPU) Derate(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("hardware: CPU derate factor %v outside (0, 1]", factor))
+	}
+	rate := c.spec.GHz * 1e9 * c.spec.HTFactor * factor
+	for _, s := range c.sockets {
+		s.SetRate(rate)
+	}
+}
+
 // Enqueue assigns the task to the next socket round-robin, after catching
 // up any ticks the bulk-dense loop deferred. The socket's notify hook
 // forwards the activation/invalidation to the agent.

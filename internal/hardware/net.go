@@ -110,6 +110,10 @@ type Link struct {
 	rate     float64
 	capShare float64 // fraction of raw bandwidth allocated to this platform
 	failed   bool
+
+	// Healthy-state parameters, restored by Repair after a Degrade.
+	baseRate    float64
+	baseLatency float64
 }
 
 // LinkSpec describes a link: bandwidth, latency, connection limit and the
@@ -139,9 +143,11 @@ func NewLink(sim *core.Simulation, name string, spec LinkSpec) *Link {
 	}
 	rate := spec.Gbps * 1e9 / 8 * share // usable bytes/second
 	l := &Link{
-		q:        queueing.NewPS(rate, spec.MaxConn, spec.LatencyMS/1000),
-		rate:     rate,
-		capShare: share,
+		q:           queueing.NewPS(rate, spec.MaxConn, spec.LatencyMS/1000),
+		rate:        rate,
+		capShare:    share,
+		baseRate:    rate,
+		baseLatency: spec.LatencyMS / 1000,
 	}
 	l.q.SetNotify(l.MarkDirty)
 	l.InitAgent(sim.NextAgentID(), name)
@@ -157,12 +163,12 @@ func (l *Link) Latency() float64 { return l.q.Latency() }
 
 // Enqueue adds a transfer (Demand in bytes), after catching up any ticks
 // the bulk-dense loop deferred; the queue's notify hook forwards the
-// activation/invalidation to the agent. Enqueueing on a failed link
-// panics — routing must divert traffic to backup paths first.
+// activation/invalidation to the agent. A failed link still accepts
+// transfers: failure is a routing-plane event (see Fail), and a message
+// whose route was pinned before the failure may reach the link stages
+// later — those committed transfers drain normally rather than crashing
+// or stalling the flow.
 func (l *Link) Enqueue(t *queueing.Task) {
-	if l.failed {
-		panic(fmt.Sprintf("hardware: enqueue on failed link %s", l.Name()))
-	}
 	l.Sync()
 	l.q.Enqueue(t)
 }
@@ -205,8 +211,18 @@ func (l *Link) Horizon() float64 { return l.q.Horizon() }
 // the allocated capacity over a window is bytes / (Rate() x window).
 func (l *Link) TakeBusy() float64 { return l.q.TakeBusy() }
 
-// Fail marks the link down; Restore brings it back. In-flight transfers
-// complete (the abstraction models route withdrawal, not packet loss).
+// Fail marks the link down; Restore brings it back. The semantics are
+// complete-then-divert, with commitment at route-pinning (plan expansion)
+// time: every message expanded before the failure keeps its route and
+// drains through the failed link at full rate as if healthy — the
+// abstraction models route withdrawal, not packet loss; a real router
+// drains its egress buffers while the routing protocol converges — while
+// every message expanded after the failure is diverted, because routing
+// (topology.Path / usableLink) refuses failed links. This is the
+// deterministic contract the fault suite pins with TestFailWANInFlight;
+// stall-until-restore was rejected because it would couple in-flight
+// completion times to the restore tick, making recovery metrics measure
+// the scheduler instead of the platform.
 func (l *Link) Fail() { l.failed = true }
 
 // Restore brings a failed link back into service.
@@ -214,6 +230,41 @@ func (l *Link) Restore() { l.failed = false }
 
 // Failed reports the link failure state.
 func (l *Link) Failed() bool { return l.failed }
+
+// Degrade models a brownout: the usable rate is scaled to factor times the
+// healthy rate and the latency to 1/factor times the healthy latency
+// (congested paths both thin out and slow down). The factor is absolute
+// against the healthy state, not cumulative, so repeated calls do not
+// compound; factor 1 restores the healthy parameters. In-flight transfers
+// finish their remaining demand at the new share, while only transfers
+// enqueued after the change observe the new latency (the latency is
+// snapshotted into each task at Enqueue). Callers must invoke it from a
+// sequential phase and bracket it with Sync/MarkDirty on this agent, which
+// the topology-layer helpers do. Panics on factor outside (0, 1].
+func (l *Link) Degrade(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("hardware: link degrade factor %v outside (0, 1]", factor))
+	}
+	l.rate = l.baseRate * factor
+	l.q.SetRate(l.rate)
+	l.q.SetLatency(l.baseLatency / factor)
+}
+
+// Repair restores the healthy rate and latency after a Degrade. Like
+// Degrade it needs a sequential phase and Sync/MarkDirty bracketing.
+func (l *Link) Repair() {
+	l.rate = l.baseRate
+	l.q.SetRate(l.baseRate)
+	l.q.SetLatency(l.baseLatency)
+}
+
+// Degraded reports whether the link currently runs below its healthy rate.
+func (l *Link) Degraded() bool { return l.rate != l.baseRate }
+
+// Arrivals returns the total number of transfers ever enqueued on the
+// link. The fault suite samples it on backup links to detect when diverted
+// traffic starts flowing (time-to-reroute).
+func (l *Link) Arrivals() uint64 { return l.q.Arrivals() }
 
 var (
 	_ core.QueueAgent = (*NIC)(nil)

@@ -219,6 +219,17 @@ func (a *diskArray) horizon() float64 {
 	return h
 }
 
+// derate scales every drive's service rate to factor times the spec rate
+// (degraded-mode operation while a failed disk rebuilds). Controller caches
+// keep full speed — electronics survive a spindle failure. Absolute, not
+// cumulative; factor 1 restores the spec rate.
+func (a *diskArray) derate(factor float64) {
+	rate := a.diskSpec.MBps * 1e6 * factor
+	for _, d := range a.disks {
+		d.hdd.SetRate(rate)
+	}
+}
+
 // takeDriveBusy returns drive busy seconds summed over disks and drains the
 // controller-cache accumulators.
 func (a *diskArray) takeDriveBusy() float64 {
@@ -367,6 +378,19 @@ func (r *RAID) TakeBusy() float64 {
 
 // Disks returns the number of disks in the array.
 func (r *RAID) Disks() int { return r.spec.Disks }
+
+// Derate scales every drive's service rate to factor times the spec rate,
+// modeling degraded-mode operation during a rebuild. Absolute against the
+// spec, not cumulative; factor 1 restores full speed. In-service stripes
+// finish their remaining bytes at the new rate. Callers must invoke it
+// from a sequential phase and bracket it with Sync/MarkDirty on this
+// agent, which the fault library does. Panics on factor outside (0, 1].
+func (r *RAID) Derate(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("hardware: RAID derate factor %v outside (0, 1]", factor))
+	}
+	r.array.derate(factor)
+}
 
 // SANSpec describes a storage area network (Fig. 3-8): a fibre-channel
 // switch, an array controller cache and a fibre-channel arbitrated loop
@@ -538,6 +562,15 @@ func (s *SAN) TakeBusy() float64 {
 
 // Disks returns the number of disks in the SAN.
 func (s *SAN) Disks() int { return s.spec.Disks }
+
+// Derate scales every drive's service rate to factor times the spec rate,
+// with the same contract as RAID.Derate.
+func (s *SAN) Derate(factor float64) {
+	if factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("hardware: SAN derate factor %v outside (0, 1]", factor))
+	}
+	s.array.derate(factor)
+}
 
 var (
 	_ core.QueueAgent = (*RAID)(nil)

@@ -58,6 +58,19 @@ func NewFCFS(servers int, rate float64) *FCFS {
 // Rate returns the per-server service rate.
 func (q *FCFS) Rate() float64 { return q.rate }
 
+// SetRate changes the per-server service rate, modeling partial degradation
+// (a derated CPU, a rebuilding drive). It takes effect from the next Step:
+// in-service tasks finish their remaining demand at the new rate. Callers
+// must invoke it from a sequential simulation phase and invalidate the
+// owning agent's cached horizon (Sync before, MarkDirty after), exactly
+// like an Enqueue. Panics on a non-positive rate.
+func (q *FCFS) SetRate(rate float64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("queueing: invalid FCFS rate %v", rate))
+	}
+	q.rate = rate
+}
+
 // Servers returns the number of servers.
 func (q *FCFS) Servers() int { return q.servers }
 

@@ -45,6 +45,31 @@ func NewPS(rate float64, k int, latency float64) *PS {
 // Rate returns the aggregate service rate.
 func (q *PS) Rate() float64 { return q.rate }
 
+// SetRate changes the aggregate service rate, modeling partial degradation
+// (a browned-out link). It takes effect from the next Step: in-flight tasks
+// finish their remaining demand at the new share. Callers must invoke it
+// from a sequential simulation phase and invalidate the owning agent's
+// cached horizon (Sync before, MarkDirty after), exactly like an Enqueue.
+// Panics on a non-positive rate — degradation never reaches zero; a dead
+// link is modeled by failing it.
+func (q *PS) SetRate(rate float64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("queueing: invalid PS rate %v", rate))
+	}
+	q.rate = rate
+}
+
+// SetLatency changes the constant per-task delay. Only tasks enqueued after
+// the change observe it: Enqueue snapshots the latency into the task's
+// delay countdown, so transfers already in their latency phase keep the
+// delay they started with. Panics on a negative latency.
+func (q *PS) SetLatency(latency float64) {
+	if latency < 0 {
+		panic(fmt.Sprintf("queueing: invalid PS latency %v", latency))
+	}
+	q.latency = latency
+}
+
 // Latency returns the constant per-task delay in seconds.
 func (q *PS) Latency() float64 { return q.latency }
 

@@ -202,7 +202,12 @@ func (inf *Infrastructure) BackupLink(from, to string) *hardware.Link {
 }
 
 // FailWAN marks both directions of a WAN connection failed and invalidates
-// cached routes, diverting subsequent traffic onto backup paths.
+// cached routes, diverting subsequent traffic onto backup paths. The
+// semantics are complete-then-divert, pinned by TestFailWANInFlight:
+// messages whose route was pinned before the failure — at plan expansion —
+// drain through the link at full rate as if healthy (route withdrawal
+// drains egress buffers; see hardware.Link.Fail), while every message
+// expanded after this call routes around the failure.
 func (inf *Infrastructure) FailWAN(a, b string) {
 	for _, k := range []wanKey{{a, b}, {b, a}} {
 		if l := inf.links[k]; l != nil {

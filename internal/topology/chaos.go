@@ -1,0 +1,94 @@
+package topology
+
+import "repro/internal/hardware"
+
+// This file holds the fault-injection surface of the topology layer: the
+// WAN/DC-level mutations the internal/faults library drives. All of them
+// must be called from a sequential simulation phase (the fault controller
+// is a core.Source, so its polls qualify); mutations that change queue
+// service parameters bracket the agent with Sync/MarkDirty so the
+// bulk-dense loop replays deferred ticks first and the event calendar
+// drops the now-stale horizon.
+//
+// Failure semantics are complete-then-divert (see hardware.Link.Fail):
+// transfers already routed onto a failed link finish as if healthy, while
+// every message expanded after the failure takes a surviving route.
+// FailWAN and IsolateDC therefore only change which links the router will
+// consider — they never touch queue contents.
+
+// DegradeWAN scales both directions of the primary WAN connection between
+// two adjacent DCs to factor times the healthy rate (and 1/factor times
+// the healthy latency) — a brownout rather than a blackout. Routing is
+// unaffected: a degraded link still carries traffic, just slower, so no
+// route invalidation is needed. Panics via hardware.Link.Degrade on a
+// factor outside (0, 1]; unknown connections are a no-op, matching
+// FailWAN.
+func (inf *Infrastructure) DegradeWAN(a, b string, factor float64) {
+	for _, k := range []wanKey{{a, b}, {b, a}} {
+		if l := inf.links[k]; l != nil {
+			l.Sync()
+			l.Degrade(factor)
+			l.MarkDirty()
+		}
+	}
+}
+
+// RepairWAN restores the healthy rate and latency of both directions of a
+// degraded WAN connection.
+func (inf *Infrastructure) RepairWAN(a, b string) {
+	for _, k := range []wanKey{{a, b}, {b, a}} {
+		if l := inf.links[k]; l != nil {
+			l.Sync()
+			l.Repair()
+			l.MarkDirty()
+		}
+	}
+}
+
+// IsolateDC fails every WAN link — primary and backup, both directions —
+// touching the named DC: a full data-center blackout as seen from the rest
+// of the platform. Local traffic inside the DC (clients on its own tiers)
+// continues; only inter-DC routes through or into the DC vanish. Cached
+// routes are invalidated so subsequent expansions reroute or fail with
+// "no route".
+func (inf *Infrastructure) IsolateDC(name string) {
+	inf.eachDCLink(name, func(l *hardware.Link) { l.Fail() })
+	inf.routeVersion++
+	inf.routeCache = make(map[wanKey][]string)
+}
+
+// RejoinDC restores every WAN link touching the named DC and invalidates
+// cached routes, undoing IsolateDC.
+func (inf *Infrastructure) RejoinDC(name string) {
+	inf.eachDCLink(name, func(l *hardware.Link) { l.Restore() })
+	inf.routeVersion++
+	inf.routeCache = make(map[wanKey][]string)
+}
+
+// eachDCLink applies fn to every directed WAN link (primary and backup)
+// with the named DC as an endpoint.
+func (inf *Infrastructure) eachDCLink(name string, fn func(*hardware.Link)) {
+	for k, l := range inf.links {
+		if k.from == name || k.to == name {
+			fn(l)
+		}
+	}
+	for k, l := range inf.backups {
+		if k.from == name || k.to == name {
+			fn(l)
+		}
+	}
+}
+
+// BackupArrivals returns the cumulative number of transfers ever enqueued
+// across all backup links. Backup links are idle in a healthy platform
+// (routing prefers primaries), so the first increase after a fault marks
+// the instant diverted traffic starts flowing — the fault suite samples
+// this as its time-to-reroute signal.
+func (inf *Infrastructure) BackupArrivals() uint64 {
+	var n uint64
+	for _, l := range inf.backups {
+		n += l.Arrivals()
+	}
+	return n
+}

@@ -51,11 +51,20 @@ func TestExamplesSmoke(t *testing.T) {
 		"./examples/bottleneck",
 		"./examples/capacity",
 		"./examples/whatif",
+		"./examples/partition",
 	})
 	out := runBinary(t, bins["quickstart"])
 	for _, want := range []string{"isolated REPORT duration", "app tier CPU", "completions"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+	// The partition example is the flagship chaos scenario; it must print
+	// the fault report and the backlog-drain curve.
+	out = runBinary(t, bins["partition"])
+	for _, want := range []string{"fault report", "time-to-reroute", "backlog-drain curve"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("partition output missing %q:\n%s", want, out)
 		}
 	}
 	if testing.Short() {
@@ -92,6 +101,7 @@ func TestCommandsSmoke(t *testing.T) {
 		{"multimaster", []string{"-short"}, "Table 7.3"},
 		{"gdisim", []string{"-short"}, "speedup"},
 		{"gdisim", []string{"-doc", "examples/scenario.json"}, "operations completed"},
+		{"gdisim", []string{"-doc", "examples/chaos.json"}, "fault report"},
 		{"gdisim", []string{"-doc", "examples/scenario.json",
 			"-sweep", "dcs.NA.app.cores=4,8", "-workers", "2"}, "Sweep over"},
 	}
