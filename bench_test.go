@@ -452,6 +452,61 @@ func BenchmarkDenseBulk(b *testing.B) {
 	b.Run("lock-step", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkShardScaling measures the sharded PDES engine on the dense
+// peak-hour scenario — the same global business hour BenchmarkDenseBulk
+// uses, where ~50 agents stay hot and every window carries cross-DC
+// cascade traffic. The noshards case runs the 4-shard engine with the
+// sharded runtime disabled (Config.NoShards), isolating what the shard
+// partition, mailboxes and shard-local phases buy over the identical
+// worker pool; sequential is the single-core reference. Results are
+// bit-identical across all rows (TestShardedEquivalence*); the ns/op
+// ratios land in BENCH_shard.json. Scaling requires real cores: with
+// GOMAXPROCS=1 the barrier overhead is all cost and no win.
+func BenchmarkShardScaling(b *testing.B) {
+	run := func(b *testing.B, mk func() core.Engine, noShards bool) {
+		b.Helper()
+		b.ReportAllocs()
+		var ops uint64
+		var active int
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			var eng core.Engine
+			if mk != nil {
+				eng = mk() // Shutdown ends a sharded engine's workers: one per run
+			}
+			cs, err := scenarios.NewConsolidation(scenarios.CaseConfig{
+				Step: 0.01, Seed: 7, Scale: 1,
+				StartHour: 13, EndHour: 14,
+				Engine:   eng,
+				NoShards: noShards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cs.Sim.RunFor(90) // untimed warm-up: build peak-hour concurrency
+			b.StartTimer()
+			cs.Sim.RunFor(30)
+			b.StopTimer()
+			ops = cs.Sim.CompletedOps()
+			active = cs.Sim.ActiveAgents()
+			cs.Sim.Shutdown()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(ops), "ops")
+		b.ReportMetric(float64(active), "active-agents")
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, nil, false) })
+	b.Run("noshards", func(b *testing.B) {
+		run(b, func() core.Engine { return dispatch.NewSharded(4) }, true)
+	})
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			run(b, func() core.Engine { return dispatch.NewSharded(n) }, false)
+		})
+	}
+}
+
 // BenchmarkDayNightClients runs the day-night client scenario — the
 // validation platform under a 24 h business-day curve with a 5% night
 // floor at the default 10 ms step — in the two loop configurations the

@@ -15,6 +15,15 @@
 //	       -sweep workloads.PDM.NA.ops=10,20 \
 //	       [-workers 8] [-csv sweep.csv]          # concurrent parameter sweep
 //
+// The cross-cutting flags compose with the run modes above:
+//
+//	-shards N        run on the sharded PDES engine (equivalent to
+//	                 engine: "sharded:N" in a document; applies to -doc,
+//	                 -sweep and -scenario; results are bit-identical to
+//	                 the sequential engine)
+//	-cpuprofile f    write a CPU profile of the run to f
+//	-memprofile f    write an end-of-run heap profile to f
+//
 // For the full per-chapter reports use cmd/validate, cmd/consolidate and
 // cmd/multimaster.
 package main
@@ -24,10 +33,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/refdata"
@@ -54,6 +67,9 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "platform scale for speedup measurement")
 	agentSet := flag.Int("agentset", 0, "H-Dispatch agent-set size (0 = 64, the thesis' best)")
 	short := flag.Bool("short", false, "smoke run: tiny H-Dispatch speedup measurement")
+	shards := flag.Int("shards", 0, "run on the sharded PDES engine with this many shards (0 = document/default engine)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
 
 	if *short && *table == "" && *scenario == "" && *doc == "" {
@@ -62,12 +78,27 @@ func main() {
 	if *short {
 		*minutes, *scale = 0.05, 0.1
 	}
+	if *shards < 0 {
+		log.Fatalf("-shards %d: want a positive shard count", *shards)
+	}
+
+	// Profiles bracket the selected run mode. Error paths exit through
+	// log.Fatal and drop the profile — a failed run's profile is noise.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	switch {
 	case *doc != "" && len(axes) > 0:
-		runSweep(*doc, axes, *workers, *csvOut)
+		runSweep(*doc, axes, *shards, *workers, *csvOut)
 	case *doc != "":
-		runDocument(*doc, *csvOut)
+		runDocument(*doc, *shards, *csvOut)
 	case len(axes) > 0:
 		log.Fatal("-sweep requires -doc (the document is the sweep's base experiment)")
 	case *table == "4.1":
@@ -75,17 +106,45 @@ func main() {
 	case *table == "4.2":
 		speedupTable(scenarios.HDispatch, refdata.Table42HDispatch, *minutes, *scale, *agentSet)
 	case *scenario != "":
-		smoke(*scenario)
+		smoke(*scenario, *shards)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 
 // runDocument compiles and runs one scenario document, printing the
 // uniform result summary and optionally exporting every series as CSV.
-func runDocument(path, csvOut string) {
-	e, err := experiment.LoadDocument(path)
+// shards > 0 overrides the document's engine with "sharded:N" before
+// compilation, so the document validation — shard count versus DC
+// population included — applies to the override exactly as it would to
+// the written field.
+func runDocument(path string, shards int, csvOut string) {
+	d, err := config.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if shards > 0 {
+		d.Engine = fmt.Sprintf("sharded:%d", shards)
+	}
+	e, err := experiment.FromDocument(d)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -131,13 +190,16 @@ func runDocument(path, csvOut string) {
 
 // runSweep expands the -sweep axes over the document experiment and runs
 // the grid on the worker pool.
-func runSweep(path string, axes sweepAxes, workers int, csvOut string) {
+func runSweep(path string, axes sweepAxes, shards, workers int, csvOut string) {
 	// Parse the document once: the base factory runs per grid point (and
 	// per validation probe), and re-reading the file each time would let a
 	// mid-run edit silently change later points' scenario.
 	d, err := config.Load(path)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if shards > 0 {
+		d.Engine = fmt.Sprintf("sharded:%d", shards)
 	}
 	base := func() (*experiment.Experiment, error) {
 		return experiment.FromDocument(d)
@@ -249,10 +311,19 @@ func speedupTable(mech scenarios.Mechanism, ref []refdata.SpeedupRow, minutes, s
 	}
 }
 
-func smoke(name string) {
+func smoke(name string, shards int) {
+	// The smoke paths accept any positive shard count: the core runtime
+	// tolerates shards beyond the DC population (they stay empty), and the
+	// single-DC validation platform with -shards 4 is itself a useful
+	// smoke of that tolerance. Strict validation lives on the document
+	// path, where the scenario's DC list is declarative.
+	var eng core.Engine
+	if shards > 0 {
+		eng = dispatch.NewSharded(shards)
+	}
 	switch name {
 	case "validation":
-		res, err := scenarios.RunValidation(scenarios.ValidationConfig{Experiment: 1, Seed: 42})
+		res, err := scenarios.RunValidation(scenarios.ValidationConfig{Experiment: 1, Seed: 42, Engine: eng})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -260,7 +331,7 @@ func smoke(name string) {
 			res.SteadyMean["app"], refdata.Table52Physical[1]["app"].Mean)
 	case "consolidation":
 		cs, err := scenarios.NewConsolidation(scenarios.CaseConfig{
-			Scale: 0.25, StartHour: 12, EndHour: 16, Seed: 7,
+			Scale: 0.25, StartHour: 12, EndHour: 16, Seed: 7, Engine: eng,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -270,7 +341,7 @@ func smoke(name string) {
 		fmt.Printf("consolidation peak window: Tapp DNA %.1f%% at %.1fh GMT (paper ~73%%)\n", pct, hr)
 	case "multimaster":
 		cs, err := scenarios.NewMultiMaster(scenarios.CaseConfig{
-			Scale: 0.25, StartHour: 12, EndHour: 16, Seed: 7,
+			Scale: 0.25, StartHour: 12, EndHour: 16, Seed: 7, Engine: eng,
 		})
 		if err != nil {
 			log.Fatal(err)

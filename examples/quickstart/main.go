@@ -13,6 +13,15 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	// The default engine runs the time loop on one goroutine — the right
+	// choice for a one-DC platform like this, which has nothing to
+	// partition. Global topologies can run on the sharded PDES engine
+	// instead (`engine: "sharded:N"` in a scenario document, or
+	// `gdisim -shards N`): agents are partitioned per data center and each
+	// window's heavy phases run shard-parallel, with results bit-identical
+	// to this loop. Sharding pays when hours are dense (many agents busy
+	// every window), N does not exceed the DC count, and real cores back
+	// the shards; see the "Sharded PDES engine" section of DESIGN.md.
 	sim := gdisim.NewSimulation(gdisim.SimConfig{Step: 0.01, Seed: 1})
 	defer sim.Shutdown()
 

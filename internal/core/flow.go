@@ -163,6 +163,14 @@ func (s *Simulation) startStage(tok *token) {
 		if st.Queue != nil {
 			tok.task.Demand = st.Demand
 			tok.task.Delay = st.Delay
+			// Sharded drain phase: post the hand-off to the target shard's
+			// mailbox instead of enqueueing inline; the barrier at the end
+			// of the drain applies every mailbox shard-parallel with the
+			// exact sync/enqueue/activate sequence below.
+			if sh := s.sh; sh != nil && sh.deferring {
+				sh.post(st.Queue, &tok.task)
+				return
+			}
 			// Under the bulk-dense loop the target may be lazily stepped;
 			// replay its deficit before the enqueue mutates its queues, so
 			// the new work lands on state identical to the lock-step

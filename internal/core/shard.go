@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/queueing"
+)
+
+// ShardRunner is the engine capability that unlocks the sharded PDES
+// runtime: an engine that owns a fixed set of shard-pinned workers and can
+// run one function on every shard concurrently. When the configured engine
+// implements it (dispatch.Sharded does) and the bulk-dense loop is on, the
+// simulation partitions its agents across the shards and executes the
+// parallel phases of each window — involved-agent advancement, mailbox
+// application, horizon precomputation — shard-locally, with all flow
+// routing, RNG draws and metric writes staying in the sequential residue
+// between barriers. Config.NoShards turns the runtime off for A/B
+// comparison while keeping the same engine.
+type ShardRunner interface {
+	Engine
+	// ShardCount reports the number of shards the engine runs.
+	ShardCount() int
+	// RunShards invokes fn(shard) once per shard, concurrently, and
+	// returns after every invocation finished. Calls never overlap: the
+	// simulation is single-threaded between parallel phases.
+	RunShards(fn func(shard int))
+}
+
+// mailEntry is one deferred cross-phase enqueue: a task handed to a queue
+// agent during the sequential drain, buffered into the owning shard's
+// timestamped mailbox and applied at the end-of-drain barrier. The
+// timestamp is implicit — every entry in a window's mailbox carries the
+// window's landing tick, the only tick at which drains run.
+type mailEntry struct {
+	q QueueAgent
+	t *queueing.Task
+}
+
+// shardBuf collects the activation/invalidation side effects a shard's
+// worker produces while applying its mailbox, so the global active, dirty
+// and drain sets are only touched by the deterministic sequential merge.
+// The trailing pad keeps adjacent shards' buffers off one cache line.
+type shardBuf struct {
+	activated []AgentID
+	dirty     []AgentID
+	drain     []AgentID
+	liveDelta int
+	_         [64]byte
+}
+
+// shardState is the sharded-runtime extension of a Simulation: the shard
+// map, per-shard mailboxes and scratch, and the per-shard RNG seeds. It
+// exists only when the configured engine is a ShardRunner, the bulk-dense
+// loop is enabled and Config.NoShards is off.
+type shardState struct {
+	runner ShardRunner
+	n      int
+	// seeds[w] = DeriveSeed(Config.Seed, w): an independent stream root
+	// per shard, for shard-resident stochastic components. The stock
+	// cascade machinery draws all randomness in the sequential residue
+	// (that is what keeps results bit-identical across shard counts), so
+	// these streams are reserved capacity, exposed via ShardSeed.
+	seeds []uint64
+	// shardOf maps AgentID to owning shard; agents beyond its length (or
+	// an unconfigured map) fall back to ID modulo n. Any assignment is
+	// bit-identical — ownership only decides which worker executes an
+	// agent's arithmetic — so the fallback is a correctness-neutral
+	// default and topology.PartitionByDC a locality optimization.
+	shardOf []int32
+
+	// deferring routes flow-router enqueues into the mailboxes (drain
+	// phase only); applying routes activate/invalidate into the per-shard
+	// buffers (mailbox application only).
+	deferring bool
+	applying  bool
+
+	mail [][]mailEntry
+	bufs []shardBuf
+	inv  [][]Agent   // involved-sweep partition scratch
+	pre  [][]AgentID // horizon-precompute partition scratch
+
+	// Per-phase worker functions, bound once so the three RunShards calls
+	// a window makes allocate no closures.
+	sweepFn func(int)
+	applyFn func(int)
+	preFn   func(int)
+}
+
+func newShardState(s *Simulation, runner ShardRunner, seed uint64) *shardState {
+	n := runner.ShardCount()
+	st := &shardState{
+		runner: runner,
+		n:      n,
+		seeds:  make([]uint64, n),
+		mail:   make([][]mailEntry, n),
+		bufs:   make([]shardBuf, n),
+		inv:    make([][]Agent, n),
+		pre:    make([][]AgentID, n),
+	}
+	for w := 0; w < n; w++ {
+		st.seeds[w] = DeriveSeed(seed, uint64(w))
+	}
+	st.sweepFn = func(w int) {
+		for _, a := range st.inv[w] {
+			s.advanceFn(a)
+		}
+	}
+	st.applyFn = func(w int) {
+		box := st.mail[w]
+		for i := range box {
+			e := &box[i]
+			s.syncAgent(e.q.ID())
+			e.q.Enqueue(e.t)
+			e.q.Base().MarkActive()
+			box[i] = mailEntry{}
+		}
+		st.mail[w] = box[:0]
+	}
+	st.preFn = func(w int) {
+		for _, id := range st.pre[w] {
+			s.agentHorizon(s.agents[id], s.agentTick[id])
+		}
+	}
+	return st
+}
+
+// shard returns the owning shard of an agent.
+func (st *shardState) shard(id AgentID) int32 {
+	if int(id) < len(st.shardOf) {
+		return st.shardOf[id]
+	}
+	return int32(int(id) % st.n)
+}
+
+// post buffers a drain-phase enqueue into the target agent's shard
+// mailbox. The sequential drain is the only writer, so entries land in
+// global drain order — each mailbox preserves the relative order of
+// enqueues onto any one queue, which is the arrival-order contract FCFS,
+// PS and delay-line queues key their determinism on.
+func (st *shardState) post(q QueueAgent, t *queueing.Task) {
+	w := st.shard(q.ID())
+	st.mail[w] = append(st.mail[w], mailEntry{q: q, t: t})
+}
+
+// sweepInvolved advances the window's involved agents shard-locally:
+// each worker replays exactly its own agents, in ascending ID order
+// within the shard (the involved set arrives sorted). Per-agent
+// arithmetic is identical to the engine-sweep path, so the result is
+// bit-identical to any other execution order.
+func (st *shardState) sweepInvolved(s *Simulation) {
+	for w := range st.inv {
+		st.inv[w] = st.inv[w][:0]
+	}
+	for _, a := range s.invAgents {
+		w := st.shard(a.ID())
+		st.inv[w] = append(st.inv[w], a)
+	}
+	st.runner.RunShards(st.sweepFn)
+}
+
+// applyMail drains every shard's mailbox concurrently — sync the target,
+// enqueue, mark active, exactly the inline sequence the flow router
+// deferred — then merges the buffered side effects into the global sets
+// in ascending shard order. Within a shard, entries apply in mailbox
+// (global drain) order; across shards the entries touch disjoint agents,
+// so the merge order is observationally irrelevant and fixed anyway to
+// keep runs reproducible under inspection.
+func (st *shardState) applyMail(s *Simulation) {
+	total := 0
+	for w := range st.mail {
+		total += len(st.mail[w])
+	}
+	if total == 0 {
+		return
+	}
+	st.applying = true
+	st.runner.RunShards(st.applyFn)
+	st.applying = false
+	for w := range st.bufs {
+		b := &st.bufs[w]
+		s.liveActive += b.liveDelta
+		b.liveDelta = 0
+		for _, id := range b.activated {
+			if n := len(s.active); n > 0 && id < s.active[n-1] {
+				s.activeSorted = false
+			}
+			s.active = append(s.active, id)
+			s.sweepStale = true
+		}
+		b.activated = b.activated[:0]
+		s.dirty = append(s.dirty, b.dirty...)
+		b.dirty = b.dirty[:0]
+		s.drainPend = append(s.drainPend, b.drain...)
+		b.drain = b.drain[:0]
+	}
+}
+
+// activateLocal is the applying-phase form of Simulation.activate: the
+// same bookkeeping, buffered into the owning shard instead of written to
+// the global sets. agentTick and the AgentBase flags are per-agent state
+// owned by exactly one shard, so the direct writes are race-free.
+func (st *shardState) activateLocal(s *Simulation, id AgentID) {
+	b := &st.bufs[st.shard(id)]
+	b.liveDelta++
+	s.agentTick[id] = s.clock.Now()
+	ab := s.agents[id].Base()
+	if ab.listed {
+		return // tombstone revived in place, same as the global path
+	}
+	ab.listed = true
+	b.activated = append(b.activated, id)
+}
+
+// invalidateLocal is the applying-phase form of Simulation.invalidate.
+func (st *shardState) invalidateLocal(s *Simulation, id AgentID) {
+	b := &st.bufs[st.shard(id)]
+	b.dirty = append(b.dirty, id)
+	s.hMemoTick[id] = hMemoUnset
+	if ab := s.agents[id].Base(); !ab.pendDrain {
+		ab.pendDrain = true
+		b.drain = append(b.drain, id)
+	}
+}
+
+// precomputeHorizons warms the horizon memo for the dirty set
+// shard-locally, so the sequential rekey that follows reads memoized
+// values instead of paying every Horizon call on one core. Skipping an
+// agent is always safe — rekeyDirty recomputes on a memo miss — so the
+// filter mirrors rekey's own active check without having to be exact.
+func (st *shardState) precomputeHorizons(s *Simulation) {
+	if len(s.dirty) < st.n {
+		return
+	}
+	for w := range st.pre {
+		st.pre[w] = st.pre[w][:0]
+	}
+	for _, id := range s.dirty {
+		if !s.agents[id].Base().active {
+			continue
+		}
+		w := st.shard(id)
+		st.pre[w] = append(st.pre[w], id)
+	}
+	st.runner.RunShards(st.preFn)
+}
+
+// Sharded reports the shard count when the sharded runtime is engaged
+// (ShardRunner engine, bulk-dense loop on, Config.NoShards off).
+func (s *Simulation) Sharded() (int, bool) {
+	if s.sh == nil {
+		return 0, false
+	}
+	return s.sh.n, true
+}
+
+// ShardSeed returns the derived RNG stream root of one shard
+// (DeriveSeed(Config.Seed, shard)) — the seed shard-resident stochastic
+// components draw from so their streams are independent of the
+// sequential simulation RNG and of every other shard.
+func (s *Simulation) ShardSeed(shard int) uint64 {
+	if s.sh == nil || shard < 0 || shard >= s.sh.n {
+		panic(fmt.Sprintf("core: shard %d out of range", shard))
+	}
+	return s.sh.seeds[shard]
+}
+
+// SetShardAssignment installs the AgentID-to-shard map, normally the
+// per-datacenter partition from topology.PartitionByDC. Agents beyond the
+// slice (registered later) fall back to ID modulo the shard count. The
+// assignment affects locality only, never results; it is a no-op when the
+// sharded runtime is not engaged.
+func (s *Simulation) SetShardAssignment(assign []int32) {
+	if s.sh == nil {
+		return
+	}
+	for i, w := range assign {
+		if w < 0 || int(w) >= s.sh.n {
+			panic(fmt.Sprintf("core: agent %d assigned to shard %d, have %d shards", i, w, s.sh.n))
+		}
+	}
+	s.sh.shardOf = append(s.sh.shardOf[:0], assign...)
+}
+
+// AgentCount reports the registered agent population, sizing external
+// per-agent tables such as shard assignments.
+func (s *Simulation) AgentCount() int { return len(s.agents) }

@@ -82,6 +82,14 @@ type Config struct {
 	// (same arrival law), not bit-identical; NoThinning restores the
 	// bit-identity guarantee for client workloads.
 	NoThinning bool
+	// NoShards disables the sharded PDES runtime even when Engine is a
+	// ShardRunner: the engine's workers still serve plain Sweep calls, but
+	// the simulation skips the shard partition, the drain-phase mailboxes
+	// and the shard-local window phases, running the stock bulk-dense
+	// loop. Results are bit-identical with sharding on or off — the
+	// equivalence tests enforce it — so like the other loop flags this is
+	// an A/B benchmarking and bisection aid, not a safety valve.
+	NoShards bool
 	// NoFaults disables fault injection: attachment layers that would
 	// schedule a fault controller (experiment compile) consult
 	// FaultsEnabled and skip it entirely, so the run carries no controller
@@ -159,8 +167,8 @@ type Simulation struct {
 	liveActive int
 	invIDs     []AgentID
 	invAgents  []Agent
-	advanceTo  simtime.Tick // current window's landing tick (sweep target)
-	advanceFn  func(Agent)  // advanceInvolved, bound once (no per-sweep closure)
+	advanceTo  simtime.Tick         // current window's landing tick (sweep target)
+	advanceFn  func(Agent)          // advanceInvolved, bound once (no per-sweep closure)
 	drainFn    func(*queueing.Task) // onTaskDone, bound once (no per-drain closure)
 
 	// srcDue caches each source's due tick (first tick whose Poll may have
@@ -170,6 +178,20 @@ type Simulation struct {
 	// simulation explicitly.
 	srcDue []simtime.Tick
 	srcMin simtime.Tick
+
+	// sh is the sharded-runtime state, non-nil only when the engine is a
+	// ShardRunner, the bulk-dense loop is on and Config.NoShards is off.
+	sh *shardState
+
+	// hMemo/hMemoTick memoize each agent's last computed Horizon together
+	// with the basis tick (the tick the agent's state was stepped through
+	// when the horizon was read). A horizon is a pure function of agent
+	// state, which only changes when the agent steps (the basis advances)
+	// or work arrives (the invalidation hooks reset the entry), so a
+	// basis-matched memo read is bitwise-exact — rekeyDirty and the bulk
+	// chunk sizing share one computation instead of re-reading the queue.
+	hMemo     []float64
+	hMemoTick []simtime.Tick
 
 	gaugeIdx  map[string]Gauge
 	gaugeVals []float64
@@ -213,6 +235,12 @@ func NewSimulation(cfg Config) *Simulation {
 	}
 	s.advanceFn = s.advanceInvolved
 	s.drainFn = s.onTaskDone
+	// The sharded runtime needs the bulk-dense window structure: its
+	// barriers are the window boundaries, so the lock-step loops run any
+	// engine — including a ShardRunner — through plain Sweep calls.
+	if sr, ok := eng.(ShardRunner); ok && s.bulkDense && !cfg.NoShards {
+		s.sh = newShardState(s, sr, cfg.Seed)
+	}
 	return s
 }
 
@@ -256,6 +284,10 @@ func (s *Simulation) AddAgent(a Agent) {
 	for len(s.agentTick) < len(s.agents) {
 		s.agentTick = append(s.agentTick, 0)
 	}
+	for len(s.hMemoTick) < len(s.agents) {
+		s.hMemoTick = append(s.hMemoTick, hMemoUnset)
+		s.hMemo = append(s.hMemo, 0)
+	}
 	b := a.Base()
 	b.sim = s
 	if b.pinned || !a.Idle() {
@@ -276,6 +308,10 @@ func (s *Simulation) AddAgent(a Agent) {
 // present tick, so lazy catch-up starts from here; a tombstoned entry
 // (deactivated but not yet compacted away) is revived in place.
 func (s *Simulation) activate(id AgentID) {
+	if s.sh != nil && s.sh.applying {
+		s.sh.activateLocal(s, id)
+		return
+	}
 	s.liveActive++
 	s.agentTick[id] = s.clock.Now()
 	b := s.agents[id].Base()
@@ -298,13 +334,40 @@ func (s *Simulation) invalidate(id AgentID) {
 	if !s.useCalendar {
 		return
 	}
+	if s.sh != nil && s.sh.applying {
+		s.sh.invalidateLocal(s, id)
+		return
+	}
 	s.dirty = append(s.dirty, id)
+	s.hMemoTick[id] = hMemoUnset
 	if s.bulkDense {
 		if b := s.agents[id].Base(); !b.pendDrain {
 			b.pendDrain = true
 			s.drainPend = append(s.drainPend, id)
 		}
 	}
+}
+
+// hMemoUnset marks a horizon memo entry invalid. Basis ticks are clock
+// ticks and therefore never negative.
+const hMemoUnset = simtime.Tick(-1)
+
+// agentHorizon returns the agent's horizon as observed at the given basis
+// tick (the tick its state has been stepped through), memoizing the
+// computation. Between invalidations an agent's state is a pure function
+// of its basis, so a basis match returns the bitwise-identical value the
+// direct call would produce. Callers in parallel phases are safe as long
+// as each agent is read by its owning worker only — the memo slots are
+// per-agent.
+func (s *Simulation) agentHorizon(a Agent, basis simtime.Tick) float64 {
+	id := a.ID()
+	if s.hMemoTick[id] == basis {
+		return s.hMemo[id]
+	}
+	h := a.Horizon()
+	s.hMemo[id] = h
+	s.hMemoTick[id] = basis
+	return h
 }
 
 // ActiveAgents reports the current size of the active set.
@@ -659,10 +722,16 @@ func (s *Simulation) tickBulk(limit simtime.Tick) {
 	// Phase 1 (parallel): advance the involved agents through the window —
 	// catching up any lazy deficit first — in horizon-bounded bulk chunks
 	// with single steps at event ticks. Iterations with nothing involved
-	// (mid-jump landings) skip the engine round-trip entirely.
+	// (mid-jump landings) skip the engine round-trip entirely. Under the
+	// sharded runtime each shard's worker advances exactly its own agents;
+	// otherwise the engine sweeps the sorted involved set.
 	if len(s.invAgents) > 0 {
 		s.advanceTo = landing
-		s.engine.Sweep(s.invAgents, s.advanceFn)
+		if s.sh != nil {
+			s.sh.sweepInvolved(s)
+		} else {
+			s.engine.Sweep(s.invAgents, s.advanceFn)
+		}
 	}
 	if jump > 1 {
 		s.jumps++
@@ -676,14 +745,29 @@ func (s *Simulation) tickBulk(limit simtime.Tick) {
 	// only agents that can hold completions or fresh work. Invalidations
 	// fired during the drain (downstream enqueues) accumulate for the next
 	// iteration's drain set.
+	// Under the sharded runtime the drain defers its enqueues: flow
+	// routing, RNG draws and response accounting run sequentially as
+	// always, but each task hand-off is posted to the target shard's
+	// mailbox instead of touching the queue, and the mailboxes are applied
+	// shard-parallel at the end-of-drain barrier. Deferral is exact
+	// because nothing in the drain residue reads a target queue's state:
+	// completions only exist on popped-due agents, route picking is
+	// round-robin, and the idle checks below run after the apply.
 	pend := s.drainPend
 	s.drainPend = s.drainSpare[:0]
 	if len(pend) > 1 {
 		slices.Sort(pend)
 	}
+	if s.sh != nil {
+		s.sh.deferring = true
+	}
 	for _, id := range pend {
 		s.agents[id].Base().pendDrain = false
 		s.agents[id].Drain(s.drainFn)
+	}
+	if s.sh != nil {
+		s.sh.deferring = false
+		s.sh.applyMail(s)
 	}
 	s.drainSpare = pend[:0]
 
@@ -701,7 +785,12 @@ func (s *Simulation) tickBulk(limit simtime.Tick) {
 	}
 
 	// Rekey everything invalidated since the jump was sized: agents past
-	// their event tick, downstream agents enqueued during the drain.
+	// their event tick, downstream agents enqueued during the drain. The
+	// sharded runtime pre-warms the horizon memo shard-locally first, so
+	// the sequential rekey mostly reads memoized values.
+	if s.sh != nil {
+		s.sh.precomputeHorizons(s)
+	}
 	s.rekeyDirty()
 
 	// Phase 2: measurement collection at snapshot boundaries; fullSync
@@ -754,7 +843,7 @@ func (s *Simulation) syncAgent(id AgentID) {
 		return // stale deficit: re-based on the next activation
 	}
 	s.agentTick[id] = now
-	s.advanceAgent(a, n)
+	s.advanceAgent(a, now-n, n)
 }
 
 // advanceInvolved is the engine-sweep callback of the bulk-dense loop:
@@ -765,21 +854,25 @@ func (s *Simulation) syncAgent(id AgentID) {
 func (s *Simulation) advanceInvolved(a Agent) {
 	id := a.ID()
 	if n := s.advanceTo - s.agentTick[id]; n > 0 {
+		base := s.agentTick[id]
 		s.agentTick[id] = s.advanceTo
-		s.advanceAgent(a, n)
+		s.advanceAgent(a, base, n)
 	}
 }
 
-// advanceAgent replays n ticks on one agent, bulk-collapsing quiet
-// stretches: each chunk is bounded by the agent's own horizon (the same
-// guarded whole-tick conversion the calendar keys use, so the chunk can
-// never swallow an event), with single steps resolving the event ticks in
-// between — a final single tick skips the horizon scan entirely, which is
-// the dominant case in event-dense stretches. Agents without the
+// advanceAgent replays n ticks on one agent starting from the base tick
+// (the tick its state is currently stepped through), bulk-collapsing
+// quiet stretches: each chunk is bounded by the agent's own horizon (the
+// same guarded whole-tick conversion the calendar keys use, so the chunk
+// can never swallow an event), with single steps resolving the event
+// ticks in between — a final single tick skips the horizon scan entirely,
+// which is the dominant case in event-dense stretches. The horizon reads
+// go through the memo keyed at base, so the first chunk of a window
+// reuses the value the preceding rekey computed. Agents without the
 // BulkStepper capability replay tick by tick. It runs inside the parallel
 // sweep as well as from sequential catch-ups; it only touches the agent's
-// own state.
-func (s *Simulation) advanceAgent(a Agent, n simtime.Tick) {
+// own state (including its memo slots).
+func (s *Simulation) advanceAgent(a Agent, base, n simtime.Tick) {
 	step := s.clock.Step()
 	if n == 1 {
 		a.Step(step)
@@ -794,10 +887,11 @@ func (s *Simulation) advanceAgent(a Agent, n simtime.Tick) {
 		if !canBulk {
 			a.Step(step)
 			n--
+			base++
 			continue
 		}
 		k := n
-		if h := a.Horizon(); !math.IsInf(h, 1) {
+		if h := s.agentHorizon(a, base); !math.IsInf(h, 1) {
 			if k = s.clock.WholeTicksBefore(h - ffGuard); k > n {
 				k = n
 			}
@@ -805,10 +899,12 @@ func (s *Simulation) advanceAgent(a Agent, n simtime.Tick) {
 		if k < 1 {
 			a.Step(step)
 			n--
+			base++
 			continue
 		}
 		bs.StepN(int(k), step)
 		n -= k
+		base += k
 	}
 }
 
@@ -988,7 +1084,7 @@ func (s *Simulation) rekeyDirty() {
 		if s.bulkDense {
 			base = s.agentTick[id]
 		}
-		s.cal.set(id, s.agentKey(a.Horizon(), base))
+		s.cal.set(id, s.agentKey(s.agentHorizon(a, base), base))
 	}
 	s.dirty = s.dirty[:0]
 }

@@ -36,6 +36,13 @@ func FromDocument(d *config.Document) (*Experiment, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: document %s: %w", d.Name, err)
 		}
+		// Shard counts above the DC count would leave shards empty — the
+		// per-DC partition has nothing to put on them — so the declarative
+		// surface rejects the request instead of silently wasting workers.
+		if n := ShardedCount(d.Engine); n > len(d.Infrastructure.DCs) {
+			return nil, fmt.Errorf("experiment: document %s: engine %q wants %d shards but the topology has %d data centers",
+				d.Name, d.Engine, n, len(d.Infrastructure.DCs))
+		}
 		opts = append(opts, WithEngine(mk))
 	}
 	switch w := d.Window; {
@@ -160,11 +167,18 @@ func OpsByName(name, dc string) (func(*topology.Infrastructure, float64) ([]casc
 
 // ParseEngine parses an engine selector string: "" or "sequential" for the
 // reference engine, "scattergather:<threads>" for classic Scatter-Gather,
-// "hdispatch:<threads>" or "hdispatch:<threads>:<setSize>" for H-Dispatch.
+// "hdispatch:<threads>" or "hdispatch:<threads>:<setSize>" for H-Dispatch,
+// "sharded:<shards>" for the conservative-PDES sharded engine.
 // The returned factory builds a fresh engine per call, as sweeps require.
 func ParseEngine(s string) (func() core.Engine, error) {
 	kind, rest, _ := strings.Cut(s, ":")
 	switch kind {
+	case "sharded":
+		shards, err := strconv.Atoi(rest)
+		if err != nil || shards < 1 {
+			return nil, fmt.Errorf("engine %q: want sharded:<shards>", s)
+		}
+		return func() core.Engine { return dispatch.NewSharded(shards) }, nil
 	case "", "sequential":
 		if rest != "" {
 			return nil, fmt.Errorf("engine %q: sequential takes no parameters", s)
@@ -190,5 +204,21 @@ func ParseEngine(s string) (func() core.Engine, error) {
 		}
 		return func() core.Engine { return dispatch.NewHDispatch(threads, setSize) }, nil
 	}
-	return nil, fmt.Errorf("unknown engine %q (have sequential, scattergather:<n>, hdispatch:<n>[:<set>])", s)
+	return nil, fmt.Errorf("unknown engine %q (have sequential, scattergather:<n>, hdispatch:<n>[:<set>], sharded:<n>)", s)
+}
+
+// ShardedCount returns the shard count of a "sharded:<n>" engine selector,
+// and 0 for every other (or malformed) selector — the hook declarative
+// surfaces use to validate shard counts against the topology before
+// compiling.
+func ShardedCount(s string) int {
+	kind, rest, _ := strings.Cut(s, ":")
+	if kind != "sharded" {
+		return 0
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
 }

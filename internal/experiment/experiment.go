@@ -70,6 +70,10 @@ type LoopFlags struct {
 	NoCalendar    bool
 	NoBulkDense   bool
 	NoThinning    bool
+	// NoShards keeps a sharded engine's workers but disables the sharded
+	// runtime (partition, mailboxes, shard-local window phases) — the A/B
+	// switch isolating what sharding itself buys.
+	NoShards bool
 	// NoFaults skips fault-controller attachment entirely, turning any
 	// chaos scenario back into its healthy baseline — bit-identical to a
 	// run that never declared faults.
@@ -452,6 +456,7 @@ func (e *Experiment) Compile() (*Run, error) {
 		NoCalendar:    e.flags.NoCalendar,
 		NoBulkDense:   e.flags.NoBulkDense,
 		NoThinning:    e.flags.NoThinning,
+		NoShards:      e.flags.NoShards,
 		NoFaults:      e.flags.NoFaults,
 	})
 	inf, err := topology.Build(sim, *e.infra)
@@ -460,6 +465,18 @@ func (e *Experiment) Compile() (*Run, error) {
 		return nil, fmt.Errorf("experiment %s: %w", e.name, err)
 	}
 	inf.RegisterProbes(sim.Collector)
+	// With the sharded runtime engaged, install the per-datacenter
+	// partition over the freshly built topology; agents registered later
+	// (sources are not agents, so in practice none) fall back to the
+	// modulo default, which is equally correct.
+	if n, ok := sim.Sharded(); ok {
+		plan, err := inf.PartitionByDC(n)
+		if err != nil {
+			sim.Shutdown()
+			return nil, fmt.Errorf("experiment %s: %w", e.name, err)
+		}
+		sim.SetShardAssignment(plan.Assign)
+	}
 
 	r := &Run{
 		Experiment: e,

@@ -279,14 +279,46 @@ func TestDocumentRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDocumentRejectsShardSurplus pins the declarative-surface guard: a
+// document asking for more shards than its topology has data centers is a
+// configuration error, caught before compilation (the core runtime would
+// tolerate the empty shards, but a user writing sharded:8 over one DC is
+// asking for parallelism the partition cannot provide).
+func TestDocumentRejectsShardSurplus(t *testing.T) {
+	doc := &config.Document{
+		Name:           "shard-surplus",
+		Seed:           23,
+		Step:           0.01,
+		Engine:         "sharded:2",
+		Window:         &config.WindowSpec{RunSeconds: 60},
+		Infrastructure: testSpec(), // one DC
+		Workloads: []config.WorkloadSpec{{
+			App: "PDM", DC: "NA",
+			Users:          workload.BusinessDay(40, 0, 24, 40),
+			OpsPerUserHour: 30,
+		}},
+	}
+	if _, err := FromDocument(doc); err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("FromDocument accepted 2 shards over 1 DC (err=%v)", err)
+	}
+	doc.Engine = "sharded:1"
+	e, err := FromDocument(doc)
+	if err != nil {
+		t.Fatalf("sharded:1 over 1 DC rejected: %v", err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestParseEngine pins the engine-selector grammar.
 func TestParseEngine(t *testing.T) {
-	for _, ok := range []string{"", "sequential", "scattergather:4", "scatter-gather:2", "hdispatch:2", "hdispatch:2:64", "h-dispatch:8"} {
+	for _, ok := range []string{"", "sequential", "scattergather:4", "scatter-gather:2", "hdispatch:2", "hdispatch:2:64", "h-dispatch:8", "sharded:1", "sharded:8"} {
 		if _, err := ParseEngine(ok); err != nil {
 			t.Errorf("ParseEngine(%q): %v", ok, err)
 		}
 	}
-	for _, bad := range []string{"warp", "scattergather", "scattergather:0", "hdispatch:x", "hdispatch:2:0", "sequential:3"} {
+	for _, bad := range []string{"warp", "scattergather", "scattergather:0", "hdispatch:x", "hdispatch:2:0", "sequential:3", "sharded", "sharded:0", "sharded:x"} {
 		if _, err := ParseEngine(bad); err == nil {
 			t.Errorf("ParseEngine(%q) accepted", bad)
 		}
@@ -301,4 +333,26 @@ func TestParseEngine(t *testing.T) {
 	}
 	e1.Shutdown()
 	e2.Shutdown()
+}
+
+// TestShardedCount pins the selector probe the document validator uses to
+// compare shard counts against the DC population.
+func TestShardedCount(t *testing.T) {
+	cases := map[string]int{
+		"sharded:4":        4,
+		"sharded:1":        1,
+		"sharded:0":        0,
+		"sharded:x":        0,
+		"sharded":          0,
+		"":                 0,
+		"sequential":       0,
+		"scattergather:4":  0,
+		"hdispatch:2:64":   0,
+		"sharded:4:extras": 0,
+	}
+	for sel, want := range cases {
+		if got := ShardedCount(sel); got != want {
+			t.Errorf("ShardedCount(%q) = %d, want %d", sel, got, want)
+		}
+	}
 }

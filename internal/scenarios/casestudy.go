@@ -40,10 +40,13 @@ type CaseConfig struct {
 	// Poisson draws in the client workloads — the flag that restores
 	// bit-identity for client scenarios (thinning preserves the arrival
 	// law, not the RNG draw sequence).
+	// NoShards keeps a sharded Engine's workers but disables the sharded
+	// runtime — the A/B baseline BenchmarkShardScaling measures against.
 	NoFastForward bool
 	NoCalendar    bool
 	NoBulkDense   bool
 	NoThinning    bool
+	NoShards      bool
 }
 
 // defaults fills the scenario-specific zero values. The shared defaults
@@ -69,6 +72,7 @@ func (c *CaseConfig) loopFlags() experiment.LoopFlags {
 		NoCalendar:    c.NoCalendar,
 		NoBulkDense:   c.NoBulkDense,
 		NoThinning:    c.NoThinning,
+		NoShards:      c.NoShards,
 	}
 }
 

@@ -40,6 +40,7 @@ type DayNightConfig struct {
 	NoCalendar    bool
 	NoBulkDense   bool
 	NoThinning    bool
+	NoShards      bool
 }
 
 // defaults fills the scenario-specific zero values; the shared defaults
@@ -100,6 +101,7 @@ func RunDayNight(cfg DayNightConfig) (*DayNightResult, error) {
 			NoCalendar:    cfg.NoCalendar,
 			NoBulkDense:   cfg.NoBulkDense,
 			NoThinning:    cfg.NoThinning,
+			NoShards:      cfg.NoShards,
 		}),
 		experiment.WithAccessMatrix(workload.SingleMaster([]string{"NA"}, "NA")),
 		experiment.WithWorkload(experiment.Workload{

@@ -78,9 +78,11 @@ type ValidationConfig struct {
 	// fast-forward but restores the scan-based jump sizing; NoBulkDense
 	// keeps the calendar but restores lock-step sweeps and drains (A/B
 	// comparisons; results are bit-identical in all four modes).
+	// NoShards disables the sharded runtime of a sharded Engine (A/B).
 	NoFastForward bool
 	NoCalendar    bool
 	NoBulkDense   bool
+	NoShards      bool
 }
 
 func (c *ValidationConfig) defaults() error {
@@ -112,6 +114,7 @@ func (c *ValidationConfig) loopFlags() experiment.LoopFlags {
 		NoFastForward: c.NoFastForward,
 		NoCalendar:    c.NoCalendar,
 		NoBulkDense:   c.NoBulkDense,
+		NoShards:      c.NoShards,
 	}
 }
 
