@@ -507,6 +507,74 @@ func BenchmarkShardScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkWindowStretch measures what spending the WAN lookahead buys:
+// the same run with Chandy-Misra window stretching on (default) and off
+// (Config.NoStretch — the per-window global barrier of the sharded PR).
+// Two regimes: "night" is the fine-step day-night scenario with per-tick
+// Poisson polls, where every agent lives in one DC and spans run straight
+// to the next collector boundary — barriers collapse by orders of
+// magnitude; "peak" is the dense consolidation business hour, where
+// cross-DC cascades keep flows global and stretching must stand aside
+// without costing anything. Results are bit-identical on vs off
+// (TestStretchBarrierDrop, the NoStretch equivalence legs); compare ns/op
+// and the barriers metric between the paired rows. Numbers land in
+// BENCH_lookahead.json.
+func BenchmarkWindowStretch(b *testing.B) {
+	night := func(b *testing.B, shards int, noStretch bool) {
+		b.Helper()
+		b.ReportAllocs()
+		var barriers, stretched, ops uint64
+		for i := 0; i < b.N; i++ {
+			res, err := scenarios.RunDayNight(scenarios.DayNightConfig{
+				Seed: 7, Hours: 6, NoThinning: true,
+				Engine: dispatch.NewSharded(shards), NoStretch: noStretch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := res.Result.Stats
+			barriers, stretched, ops = st.Barriers, st.WindowsStretched, st.CompletedOps
+		}
+		b.ReportMetric(float64(barriers), "barriers")
+		b.ReportMetric(float64(stretched), "windows-stretched")
+		b.ReportMetric(float64(ops), "ops")
+	}
+	peak := func(b *testing.B, shards int, noStretch bool) {
+		b.Helper()
+		b.ReportAllocs()
+		var barriers, stretched uint64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cs, err := scenarios.NewConsolidation(scenarios.CaseConfig{
+				Step: 0.01, Seed: 7, Scale: 1,
+				StartHour: 13, EndHour: 14,
+				Engine:    dispatch.NewSharded(shards),
+				NoStretch: noStretch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cs.Sim.RunFor(90) // untimed warm-up: build peak-hour concurrency
+			b.StartTimer()
+			cs.Sim.RunFor(30)
+			b.StopTimer()
+			st := cs.Sim.Stats()
+			barriers, stretched = st.Barriers, st.WindowsStretched
+			cs.Sim.Shutdown()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(barriers), "barriers")
+		b.ReportMetric(float64(stretched), "windows-stretched")
+	}
+	for _, n := range []int{1, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("night/shards-%d/stretch", n), func(b *testing.B) { night(b, n, false) })
+		b.Run(fmt.Sprintf("night/shards-%d/nostretch", n), func(b *testing.B) { night(b, n, true) })
+		b.Run(fmt.Sprintf("peak/shards-%d/stretch", n), func(b *testing.B) { peak(b, n, false) })
+		b.Run(fmt.Sprintf("peak/shards-%d/nostretch", n), func(b *testing.B) { peak(b, n, true) })
+	}
+}
+
 // BenchmarkDayNightClients runs the day-night client scenario — the
 // validation platform under a 24 h business-day curve with a 5% night
 // floor at the default 10 ms step — in the two loop configurations the

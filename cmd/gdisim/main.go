@@ -17,10 +17,13 @@
 //
 // The cross-cutting flags compose with the run modes above:
 //
-//	-shards N        run on the sharded PDES engine (equivalent to
+//	-shards N|auto   run on the sharded PDES engine (equivalent to
 //	                 engine: "sharded:N" in a document; applies to -doc,
 //	                 -sweep and -scenario; results are bit-identical to
-//	                 the sequential engine)
+//	                 the sequential engine). "auto" picks
+//	                 min(GOMAXPROCS, DC count)
+//	-v               print extra run statistics: global barriers, stretched
+//	                 windows and per-shard stretch counters
 //	-cpuprofile f    write a CPU profile of the run to f
 //	-memprofile f    write an end-of-run heap profile to f
 //
@@ -67,7 +70,8 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "platform scale for speedup measurement")
 	agentSet := flag.Int("agentset", 0, "H-Dispatch agent-set size (0 = 64, the thesis' best)")
 	short := flag.Bool("short", false, "smoke run: tiny H-Dispatch speedup measurement")
-	shards := flag.Int("shards", 0, "run on the sharded PDES engine with this many shards (0 = document/default engine)")
+	shards := flag.String("shards", "", `run on the sharded PDES engine: a shard count, or "auto" for min(GOMAXPROCS, DCs) (empty = document/default engine)`)
+	verbose := flag.Bool("v", false, "print extra run statistics: global barriers, stretched windows, per-shard stretch counters")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
@@ -78,8 +82,10 @@ func main() {
 	if *short {
 		*minutes, *scale = 0.05, 0.1
 	}
-	if *shards < 0 {
-		log.Fatalf("-shards %d: want a positive shard count", *shards)
+	if *shards != "" && *shards != "auto" {
+		if n, err := strconv.Atoi(*shards); err != nil || n < 1 {
+			log.Fatalf(`-shards %q: want a positive shard count or "auto"`, *shards)
+		}
 	}
 
 	// Profiles bracket the selected run mode. Error paths exit through
@@ -98,7 +104,7 @@ func main() {
 	case *doc != "" && len(axes) > 0:
 		runSweep(*doc, axes, *shards, *workers, *csvOut)
 	case *doc != "":
-		runDocument(*doc, *shards, *csvOut)
+		runDocument(*doc, *shards, *csvOut, *verbose)
 	case len(axes) > 0:
 		log.Fatal("-sweep requires -doc (the document is the sweep's base experiment)")
 	case *table == "4.1":
@@ -106,7 +112,7 @@ func main() {
 	case *table == "4.2":
 		speedupTable(scenarios.HDispatch, refdata.Table42HDispatch, *minutes, *scale, *agentSet)
 	case *scenario != "":
-		smoke(*scenario, *shards)
+		smoke(*scenario, *shards, *verbose)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -132,17 +138,17 @@ func main() {
 
 // runDocument compiles and runs one scenario document, printing the
 // uniform result summary and optionally exporting every series as CSV.
-// shards > 0 overrides the document's engine with "sharded:N" before
-// compilation, so the document validation — shard count versus DC
-// population included — applies to the override exactly as it would to
-// the written field.
-func runDocument(path string, shards int, csvOut string) {
+// A non-empty shards overrides the document's engine with "sharded:N" (or
+// "sharded:auto") before compilation, so the document validation — shard
+// count versus DC population included — applies to the override exactly
+// as it would to the written field.
+func runDocument(path string, shards, csvOut string, verbose bool) {
 	d, err := config.Load(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if shards > 0 {
-		d.Engine = fmt.Sprintf("sharded:%d", shards)
+	if shards != "" {
+		d.Engine = "sharded:" + shards
 	}
 	e, err := experiment.FromDocument(d)
 	if err != nil {
@@ -156,6 +162,9 @@ func runDocument(path string, shards int, csvOut string) {
 		res.Name, res.Stats.CompletedOps, res.Stats.Seconds)
 	fmt.Printf("  agents %d, fast-forward jumps %d (%d ticks skipped)\n",
 		res.Stats.Agents, res.Stats.Jumps, res.Stats.SkippedTicks)
+	if verbose {
+		printStretchStats(res.Stats)
+	}
 	if res.Faults != nil {
 		fmt.Print(res.Faults)
 	}
@@ -190,7 +199,7 @@ func runDocument(path string, shards int, csvOut string) {
 
 // runSweep expands the -sweep axes over the document experiment and runs
 // the grid on the worker pool.
-func runSweep(path string, axes sweepAxes, shards, workers int, csvOut string) {
+func runSweep(path string, axes sweepAxes, shards string, workers int, csvOut string) {
 	// Parse the document once: the base factory runs per grid point (and
 	// per validation probe), and re-reading the file each time would let a
 	// mid-run edit silently change later points' scenario.
@@ -198,8 +207,8 @@ func runSweep(path string, axes sweepAxes, shards, workers int, csvOut string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if shards > 0 {
-		d.Engine = fmt.Sprintf("sharded:%d", shards)
+	if shards != "" {
+		d.Engine = "sharded:" + shards
 	}
 	base := func() (*experiment.Experiment, error) {
 		return experiment.FromDocument(d)
@@ -311,15 +320,27 @@ func speedupTable(mech scenarios.Mechanism, ref []refdata.SpeedupRow, minutes, s
 	}
 }
 
-func smoke(name string, shards int) {
+func smoke(name, shards string, verbose bool) {
 	// The smoke paths accept any positive shard count: the core runtime
 	// tolerates shards beyond the DC population (they stay empty), and the
 	// single-DC validation platform with -shards 4 is itself a useful
 	// smoke of that tolerance. Strict validation lives on the document
-	// path, where the scenario's DC list is declarative.
+	// path, where the scenario's DC list is declarative. "auto" resolves
+	// against the scenario's own DC population: 1 for validation, the
+	// consolidated platform's count for the case studies.
 	var eng core.Engine
-	if shards > 0 {
-		eng = dispatch.NewSharded(shards)
+	if shards != "" {
+		n := 0
+		if shards == "auto" {
+			dcs := 1
+			if name != "validation" {
+				dcs = len(refdata.ConsolidatedDCs)
+			}
+			n = experiment.AutoShards(dcs)
+		} else {
+			n, _ = strconv.Atoi(shards)
+		}
+		eng = dispatch.NewSharded(n)
 	}
 	switch name {
 	case "validation":
@@ -329,6 +350,9 @@ func smoke(name string, shards int) {
 		}
 		fmt.Printf("validation experiment 2: app CPU steady mean %.1f%% (physical %.1f%%)\n",
 			res.SteadyMean["app"], refdata.Table52Physical[1]["app"].Mean)
+		if verbose {
+			printStretchStats(res.Result.Stats)
+		}
 	case "consolidation":
 		cs, err := scenarios.NewConsolidation(scenarios.CaseConfig{
 			Scale: 0.25, StartHour: 12, EndHour: 16, Seed: 7, Engine: eng,
@@ -339,6 +363,9 @@ func smoke(name string, shards int) {
 		cs.Run()
 		pct, hr := cs.PeakCPUPct("NA", "app")
 		fmt.Printf("consolidation peak window: Tapp DNA %.1f%% at %.1fh GMT (paper ~73%%)\n", pct, hr)
+		if verbose {
+			printStretchStats(cs.Result.Stats)
+		}
 	case "multimaster":
 		cs, err := scenarios.NewMultiMaster(scenarios.CaseConfig{
 			Scale: 0.25, StartHour: 12, EndHour: 16, Seed: 7, Engine: eng,
@@ -349,7 +376,20 @@ func smoke(name string, shards int) {
 		cs.Run()
 		pct, hr := cs.PeakCPUPct("NA", "app")
 		fmt.Printf("multimaster peak window: Tapp DNA %.1f%% at %.1fh GMT (paper ~78%%)\n", pct, hr)
+		if verbose {
+			printStretchStats(cs.Result.Stats)
+		}
 	default:
 		log.Fatalf("unknown scenario %q", name)
+	}
+}
+
+// printStretchStats reports the sharded runtime's synchronization shape:
+// how many global barriers the run paid and how many windows ran inside
+// stretched spans instead, per shard when the partition engaged.
+func printStretchStats(st core.RunStats) {
+	fmt.Printf("  global barriers %d, windows stretched %d\n", st.Barriers, st.WindowsStretched)
+	if len(st.ShardStretch) > 0 {
+		fmt.Printf("  per-shard stretched windows: %v\n", st.ShardStretch)
 	}
 }

@@ -257,8 +257,13 @@ func Instantiate(op Op, b *Binding) (core.OpRun, error) {
 	steps := op.Steps
 	binding := b
 	return core.OpRun{
-		Name:     op.Name,
-		DC:       b.Local.Name,
+		Name: op.Name,
+		DC:   b.Local.Name,
+		// A binding whose master is the local site resolves every endpoint
+		// inside one data center (missing-tier fallback also lands on the
+		// master, i.e. the same DC), so the whole cascade is shard-confined
+		// and eligible for stretched-span execution.
+		Local:    b.Local == b.Master,
 		NumSteps: len(steps),
 		Expand: func(step int) []core.MessagePlan {
 			msgs := steps[step]

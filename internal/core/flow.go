@@ -63,6 +63,14 @@ type OpRun struct {
 	OnComplete func(now, dur float64)
 	// Silent suppresses response-time recording (used by warm-up traffic).
 	Silent bool
+	// Local declares that every stage of every message of this cascade
+	// resolves to agents of the operation's own data center — no WAN hop,
+	// no cross-DC holon. Builders set it (cascade.Instantiate proves it
+	// from the binding: local site == master site); it is the license for
+	// the stretched-span scheduler to run the flow entirely inside one
+	// shard lane. A false value is always safe — it only forces the flow
+	// onto the global (barriered) path.
+	Local bool
 }
 
 // Flow is an in-flight operation instance.
@@ -105,11 +113,47 @@ func (s *Simulation) freeToken(tok *token) {
 	s.tokenPool = append(s.tokenPool, tok)
 }
 
+// flowLane resolves the lane executing flows of the given data center
+// during a stretched span, or nil outside spans. Every flow live inside a
+// span is Local (startOp enforces it), so its DC names both the lane that
+// launched it and the only lane that can ever touch it.
+func (s *Simulation) flowLane(dc string) *laneState {
+	if s.sh == nil || !s.sh.inSpan {
+		return nil
+	}
+	w, ok := s.sh.dcLane[dc]
+	if !ok {
+		panic(fmt.Sprintf("core: flow for unmapped data center %q inside a stretched span", dc))
+	}
+	return &s.sh.lanes[w]
+}
+
 // startOp validates and launches an operation instance. It is called by
-// Simulation.StartOp in the sequential phase.
+// Simulation.StartOp in the sequential phase, or — for Local operations —
+// from a shard lane inside a stretched span.
 func (s *Simulation) startOp(op OpRun) *Flow {
 	if op.NumSteps <= 0 || op.Expand == nil {
 		panic(fmt.Sprintf("core: operation %q needs NumSteps > 0 and an Expand function", op.Name))
+	}
+	if ln := s.flowLane(op.DC); ln != nil {
+		// Lane path: only shard-confined flows may launch between barriers.
+		// The span scheduler guarantees none of these fire by construction
+		// (spans form only when no cross-DC work is possible); the panics
+		// keep the invariant honest against future launchers.
+		if !op.Local || op.OnComplete != nil {
+			panic(fmt.Sprintf("core: operation %q is not shard-confined (Local=%v, OnComplete=%v) inside a stretched span",
+				op.Name, op.Local, op.OnComplete != nil))
+		}
+		if op.Gauge == 0 && op.GaugeKey != "" {
+			panic(fmt.Sprintf("core: operation %q launches with an un-interned gauge key %q inside a stretched span",
+				op.Name, op.GaugeKey))
+		}
+		ln.nextFlowID++
+		f := &Flow{id: ln.nextFlowID, op: op, step: -1, start: s.clock.SecondsAt(ln.tick)}
+		ln.flowDelta++
+		s.AddGaugeBy(op.Gauge, 1)
+		s.advanceFlow(f)
+		return f
 	}
 	if op.Gauge == 0 && op.GaugeKey != "" {
 		op.Gauge = s.GaugeHandle(op.GaugeKey)
@@ -117,6 +161,9 @@ func (s *Simulation) startOp(op OpRun) *Flow {
 	s.nextFlowID++
 	f := &Flow{id: s.nextFlowID, op: op, step: -1, start: s.clock.NowSeconds()}
 	s.activeFlows++
+	if !op.Local || op.OnComplete != nil {
+		s.crossFlows++
+	}
 	s.AddGaugeBy(op.Gauge, 1)
 	s.advanceFlow(f)
 	return f
@@ -127,6 +174,7 @@ func (s *Simulation) startOp(op OpRun) *Flow {
 // zero messages complete immediately, so the loop continues until a step
 // launches work or the flow ends.
 func (s *Simulation) advanceFlow(f *Flow) {
+	ln := s.flowLane(f.op.DC)
 	for {
 		f.step++
 		if f.step >= f.op.NumSteps {
@@ -139,12 +187,19 @@ func (s *Simulation) advanceFlow(f *Flow) {
 		}
 		f.outstanding = len(plans)
 		for _, plan := range plans {
-			tok := s.newToken()
+			var tok *token
+			if ln != nil {
+				tok = ln.newToken()
+				ln.nextTaskID++
+				tok.task.ID = ln.nextTaskID
+			} else {
+				tok = s.newToken()
+				s.nextTaskID++
+				tok.task.ID = s.nextTaskID
+			}
 			tok.flow = f
 			tok.stages = plan.Stages
 			tok.task.Payload = tok
-			s.nextTaskID++
-			tok.task.ID = s.nextTaskID
 			s.startStage(tok)
 		}
 		return
@@ -168,7 +223,7 @@ func (s *Simulation) startStage(tok *token) {
 			// of the drain applies every mailbox shard-parallel with the
 			// exact sync/enqueue/activate sequence below.
 			if sh := s.sh; sh != nil && sh.deferring {
-				sh.post(st.Queue, &tok.task)
+				sh.post(s, st.Queue, &tok.task)
 				return
 			}
 			// Under the bulk-dense loop the target may be lazily stepped;
@@ -211,7 +266,11 @@ func (s *Simulation) onTaskDone(t *queueing.Task) {
 // token.
 func (s *Simulation) tokenDone(tok *token) {
 	f := tok.flow
-	s.freeToken(tok)
+	if ln := s.flowLane(f.op.DC); ln != nil {
+		ln.freeToken(tok)
+	} else {
+		s.freeToken(tok)
+	}
 	f.outstanding--
 	if f.outstanding < 0 {
 		panic(fmt.Sprintf("core: flow %d over-completed", f.id))
@@ -222,10 +281,31 @@ func (s *Simulation) tokenDone(tok *token) {
 }
 
 // completeFlow records the response time and runs completion callbacks.
+// Inside a stretched span the completion books onto the lane (its own
+// response buffer, its own counters, the lane's local tick for the
+// completion instant); the counters merge into the simulation at the span
+// exit barrier. A flow may start on one path and complete on the other —
+// the delta accounting composes either way.
 func (s *Simulation) completeFlow(f *Flow) {
+	if ln := s.flowLane(f.op.DC); ln != nil {
+		now := s.clock.SecondsAt(ln.tick)
+		dur := now - f.start
+		ln.flowDelta--
+		s.AddGaugeBy(f.op.Gauge, -1)
+		if !f.op.Silent {
+			ln.resp.Record(f.op.Name, f.op.DC, now, dur)
+		}
+		ln.completed++
+		// OnComplete-bearing flows never enter lanes: startOp rejects them
+		// and the span scheduler refuses to form spans while any is live.
+		return
+	}
 	now := s.clock.NowSeconds()
 	dur := now - f.start
 	s.activeFlows--
+	if !f.op.Local || f.op.OnComplete != nil {
+		s.crossFlows--
+	}
 	s.AddGaugeBy(f.op.Gauge, -1)
 	if !f.op.Silent {
 		s.Responses.Record(f.op.Name, f.op.DC, now, dur)

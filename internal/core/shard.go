@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
+	"repro/internal/metrics"
 	"repro/internal/queueing"
+	"repro/internal/simtime"
 )
 
 // ShardRunner is the engine capability that unlocks the sharded PDES
@@ -28,24 +31,33 @@ type ShardRunner interface {
 
 // mailEntry is one deferred cross-phase enqueue: a task handed to a queue
 // agent during the sequential drain, buffered into the owning shard's
-// timestamped mailbox and applied at the end-of-drain barrier. The
-// timestamp is implicit — every entry in a window's mailbox carries the
-// window's landing tick, the only tick at which drains run.
+// timestamped mailbox and applied at the end-of-drain barrier. due is the
+// earliest tick at which the task can have an observable effect on the
+// receiver: the posting window's landing tick plus the whole ticks covered
+// by the task's fixed delay (for WAN-link hops, the link latency — the
+// lookahead of the conservative protocol). The apply phase audits that no
+// entry is ever applied past-due relative to the receiving shard's
+// committed horizon; the property tests pin the audit.
 type mailEntry struct {
-	q QueueAgent
-	t *queueing.Task
+	q   QueueAgent
+	t   *queueing.Task
+	due simtime.Tick
 }
 
 // shardBuf collects the activation/invalidation side effects a shard's
 // worker produces while applying its mailbox, so the global active, dirty
 // and drain sets are only touched by the deterministic sequential merge.
-// The trailing pad keeps adjacent shards' buffers off one cache line.
+// mailApplied/mailMinSlack accumulate the shard's mailbox-safety audit
+// (entries applied; minimum due-minus-horizon slack in ticks). The
+// trailing pad keeps adjacent shards' buffers off one cache line.
 type shardBuf struct {
-	activated []AgentID
-	dirty     []AgentID
-	drain     []AgentID
-	liveDelta int
-	_         [64]byte
+	activated    []AgentID
+	dirty        []AgentID
+	drain        []AgentID
+	liveDelta    int
+	mailApplied  uint64
+	mailMinSlack simtime.Tick
+	_            [64]byte
 }
 
 // shardState is the sharded-runtime extension of a Simulation: the shard
@@ -70,35 +82,60 @@ type shardState struct {
 
 	// deferring routes flow-router enqueues into the mailboxes (drain
 	// phase only); applying routes activate/invalidate into the per-shard
-	// buffers (mailbox application only).
+	// buffers (mailbox application only); inSpan routes the activation,
+	// invalidation, sync and flow hooks onto the shard lanes (stretched
+	// spans only). The three phases are mutually exclusive.
 	deferring bool
 	applying  bool
+	inSpan    bool
+
+	// stretch enables Chandy-Misra window stretching (Config.NoStretch
+	// off): between global barriers each shard may run many consecutive
+	// calendar windows on its own lane, bounded by the next collector
+	// boundary, the run end and the earliest global-source due tick.
+	stretch bool
+	// dcLane maps each data-center name to its owning shard — the routing
+	// table lane-confined flows and sources resolve through. Installed by
+	// SetDCShards from the topology partition; spans never form while it
+	// is empty.
+	dcLane map[string]int
+	// lanes is the per-shard span execution state; shardWindows counts the
+	// lane windows each shard ran inside spans; committed[w] is the tick
+	// shard w's agents are known to be advanced through at the last global
+	// synchronization — the safe horizon the mailbox audit checks against.
+	lanes        []laneState
+	shardWindows []uint64
+	committed    []simtime.Tick
 
 	mail [][]mailEntry
 	bufs []shardBuf
 	inv  [][]Agent   // involved-sweep partition scratch
 	pre  [][]AgentID // horizon-precompute partition scratch
 
-	// Per-phase worker functions, bound once so the three RunShards calls
-	// a window makes allocate no closures.
+	// Per-phase worker functions, bound once so the RunShards calls a
+	// window (or span) makes allocate no closures.
 	sweepFn func(int)
 	applyFn func(int)
 	preFn   func(int)
+	spanFn  func(int)
 }
 
 func newShardState(s *Simulation, runner ShardRunner, seed uint64) *shardState {
 	n := runner.ShardCount()
 	st := &shardState{
-		runner: runner,
-		n:      n,
-		seeds:  make([]uint64, n),
-		mail:   make([][]mailEntry, n),
-		bufs:   make([]shardBuf, n),
-		inv:    make([][]Agent, n),
-		pre:    make([][]AgentID, n),
+		runner:       runner,
+		n:            n,
+		seeds:        make([]uint64, n),
+		shardWindows: make([]uint64, n),
+		committed:    make([]simtime.Tick, n),
+		mail:         make([][]mailEntry, n),
+		bufs:         make([]shardBuf, n),
+		inv:          make([][]Agent, n),
+		pre:          make([][]AgentID, n),
 	}
 	for w := 0; w < n; w++ {
 		st.seeds[w] = DeriveSeed(seed, uint64(w))
+		st.bufs[w].mailMinSlack = neverTick
 	}
 	st.sweepFn = func(w int) {
 		for _, a := range st.inv[w] {
@@ -107,8 +144,23 @@ func newShardState(s *Simulation, runner ShardRunner, seed uint64) *shardState {
 	}
 	st.applyFn = func(w int) {
 		box := st.mail[w]
+		horizon := st.committed[w]
+		b := &st.bufs[w]
 		for i := range box {
 			e := &box[i]
+			// Conservative-synchronization audit: an entry applied with a
+			// due tick behind the receiver's committed horizon would mean
+			// the message should already have influenced state the shard
+			// advanced past — a protocol violation, never a recoverable
+			// condition.
+			if e.due < horizon {
+				panic(fmt.Sprintf("core: shard %d mailbox entry due at tick %d applied past the committed horizon %d",
+					w, e.due, horizon))
+			}
+			if slack := e.due - horizon; slack < b.mailMinSlack {
+				b.mailMinSlack = slack
+			}
+			b.mailApplied++
 			s.syncAgent(e.q.ID())
 			e.q.Enqueue(e.t)
 			e.q.Base().MarkActive()
@@ -119,6 +171,12 @@ func newShardState(s *Simulation, runner ShardRunner, seed uint64) *shardState {
 	st.preFn = func(w int) {
 		for _, id := range st.pre[w] {
 			s.agentHorizon(s.agents[id], s.agentTick[id])
+		}
+	}
+	st.spanFn = func(w int) {
+		ln := &st.lanes[w]
+		for ln.tick < ln.spanEnd {
+			s.laneWindow(ln)
 		}
 	}
 	return st
@@ -136,10 +194,17 @@ func (st *shardState) shard(id AgentID) int32 {
 // mailbox. The sequential drain is the only writer, so entries land in
 // global drain order — each mailbox preserves the relative order of
 // enqueues onto any one queue, which is the arrival-order contract FCFS,
-// PS and delay-line queues key their determinism on.
-func (st *shardState) post(q QueueAgent, t *queueing.Task) {
+// PS and delay-line queues key their determinism on. The due stamp is the
+// posting tick plus the task's fixed delay in whole ticks: for a WAN-link
+// hop that delay is the link latency, so a cross-shard message carries the
+// WAN lookahead as its safety margin over the receiver's horizon.
+func (st *shardState) post(s *Simulation, q QueueAgent, t *queueing.Task) {
 	w := st.shard(q.ID())
-	st.mail[w] = append(st.mail[w], mailEntry{q: q, t: t})
+	due := s.clock.Now()
+	if t.Delay > 0 {
+		due += s.clock.TicksIn(t.Delay)
+	}
+	st.mail[w] = append(st.mail[w], mailEntry{q: q, t: t, due: due})
 }
 
 // sweepInvolved advances the window's involved agents shard-locally:
@@ -166,6 +231,15 @@ func (st *shardState) sweepInvolved(s *Simulation) {
 // so the merge order is observationally irrelevant and fixed anyway to
 // keep runs reproducible under inspection.
 func (st *shardState) applyMail(s *Simulation) {
+	// The drain just ran at the current tick, so every shard's agents are
+	// committed through it — the safe horizon the apply-phase audit checks
+	// mailbox due stamps against.
+	now := s.clock.Now()
+	for w := range st.committed {
+		if now > st.committed[w] {
+			st.committed[w] = now
+		}
+	}
 	total := 0
 	for w := range st.mail {
 		total += len(st.mail[w])
@@ -242,6 +316,435 @@ func (st *shardState) precomputeHorizons(s *Simulation) {
 		st.pre[w] = append(st.pre[w], id)
 	}
 	st.runner.RunShards(st.preFn)
+}
+
+// laneState is one shard's private slice of the simulation during a
+// stretched span: its own clock position, event calendar, active/pinned
+// sets, drain sets, source schedule view, flow bookkeeping and response
+// buffer. A span partitions the corresponding global structures into the
+// lanes at the entry barrier, lets every lane run the standard bulk-dense
+// window loop privately — same jump sizing, same phase order, same
+// per-agent arithmetic, so results are bit-identical — and merges the
+// lanes back in ascending shard order at the exit barrier. Everything a
+// lane touches between barriers is owned by exactly one shard: its agents
+// (per the shard assignment), its DC's flows (Local cascades only), its
+// DC-confined sources, gauges interned per DC, and per-agent memo slots.
+// The trailing pad keeps adjacent lanes off one cache line.
+type laneState struct {
+	tick    simtime.Tick // the lane's local clock
+	spanEnd simtime.Tick // the span's exit barrier tick
+	limit   simtime.Tick // the run-level limit (full-sync detection)
+
+	cal       calendar
+	active    []AgentID
+	pinned    []AgentID
+	dirty     []AgentID
+	drainPend []AgentID
+	drainSpare []AgentID
+	invIDs    []AgentID
+
+	// srcIdx indexes the lane's confined sources in s.sources/s.srcDue;
+	// srcMin caches their minimum due tick, mirroring Simulation.srcMin.
+	srcIdx []int
+	srcMin simtime.Tick
+
+	// Per-span deltas merged into the global counters at the exit barrier.
+	liveDelta int
+	flowDelta int
+	completed uint64
+	jumps     uint64
+	skipped   uint64
+	windows   uint64
+
+	// Lane-local flow machinery: response buffer, token pool and ID
+	// counters, so in-span launches never touch the shared ones.
+	resp       *metrics.Responses
+	tokenPool  []*token
+	nextFlowID uint64
+	nextTaskID uint64
+
+	_ [64]byte
+}
+
+// newToken / freeToken are the lane-local forms of the Simulation token
+// pool (flow.go): spans recycle message tokens per lane.
+func (ln *laneState) newToken() *token {
+	if n := len(ln.tokenPool); n > 0 {
+		tok := ln.tokenPool[n-1]
+		ln.tokenPool[n-1] = nil
+		ln.tokenPool = ln.tokenPool[:n-1]
+		return tok
+	}
+	return &token{}
+}
+
+func (ln *laneState) freeToken(tok *token) {
+	*tok = token{}
+	ln.tokenPool = append(ln.tokenPool, tok)
+}
+
+// trySpan decides whether the next window can instead run as a stretched
+// span and, if so, executes it. The preconditions are exactly the cases
+// where per-lane execution is provably equivalent to the barriered loop:
+//
+//   - a DC-to-shard routing table is installed (SetDCShards) — without it
+//     nothing can be lane-confined;
+//   - no cross-shard flow is in flight (crossFlows == 0): every live flow
+//     is Local with no completion callback, so all of its remaining work
+//     stays inside one shard;
+//   - no agent registration is pending (rebind);
+//   - no global source — a source not registered lane-confined, or
+//     confined to an unmapped DC — comes due before the span would end.
+//
+// The span bound S is the earliest of: the run limit, the next collector
+// boundary, and the earliest global-source due tick. Spans must cover at
+// least two ticks to beat the classic window; otherwise the caller falls
+// back to the barriered path.
+func (s *Simulation) trySpan(limit simtime.Tick) bool {
+	sh := s.sh
+	if len(sh.dcLane) == 0 || s.crossFlows != 0 || s.rebind {
+		return false
+	}
+	now := s.clock.Now()
+	S := limit
+	if b := now + s.collectEvery - now%s.collectEvery; b < S {
+		S = b
+	}
+	for i, dc := range s.srcDC {
+		if dc != "" {
+			if _, ok := sh.dcLane[dc]; ok {
+				continue // lane-confined: polled inside its lane
+			}
+		}
+		if s.srcDue[i] < S {
+			S = s.srcDue[i]
+		}
+	}
+	if S <= now+1 {
+		return false
+	}
+	s.runSpan(S, limit)
+	return true
+}
+
+// runSpan executes one stretched span [T, S): partition the global loop
+// state into per-shard lanes, run every lane's window loop concurrently up
+// to S, and merge the lanes back — the only global barrier the covered
+// windows pay. The global clock is parked at T while lanes run (each lane
+// carries its own tick) and commits to S at the exit barrier.
+func (s *Simulation) runSpan(S, limit simtime.Tick) {
+	sh := s.sh
+	T := s.clock.Now()
+
+	// Settle global state sequentially before partitioning: fold pending
+	// invalidations into the calendar, drop active-set tombstones and
+	// restore ascending order (lane active lists inherit sortedness).
+	s.rekeyDirty()
+	s.compactActive()
+
+	// Partition. Lane calendars index the full agent population (cheap:
+	// the pos slices persist across spans); entries, active IDs, drain
+	// membership and pinned agents deal out by shard ownership.
+	if sh.lanes == nil {
+		sh.lanes = make([]laneState, sh.n)
+		for w := range sh.lanes {
+			ln := &sh.lanes[w]
+			ln.resp = metrics.NewResponses()
+			// Lane task/flow IDs live in a per-shard band so they never
+			// collide with the sequential counters; IDs are bookkeeping
+			// only (queueing is arrival-ordered), so the band choice is
+			// behaviorally inert.
+			ln.nextFlowID = uint64(w+1) << 48
+			ln.nextTaskID = uint64(w+1) << 48
+		}
+	}
+	for w := range sh.lanes {
+		ln := &sh.lanes[w]
+		ln.tick = T
+		ln.spanEnd = S
+		ln.limit = limit
+		ln.cal.grow(len(s.agents))
+		ln.active = ln.active[:0]
+		ln.pinned = ln.pinned[:0]
+		ln.srcIdx = ln.srcIdx[:0]
+		ln.liveDelta = 0
+		ln.flowDelta = 0
+		ln.completed = 0
+		ln.jumps = 0
+		ln.skipped = 0
+		ln.windows = 0
+	}
+	for _, id := range s.active {
+		ln := &sh.lanes[sh.shard(id)]
+		ln.active = append(ln.active, id)
+	}
+	s.active = s.active[:0]
+	for _, e := range s.cal.entries {
+		sh.lanes[sh.shard(e.id)].cal.set(e.id, e.key)
+	}
+	s.cal.clear()
+	for _, id := range s.drainPend {
+		sh.lanes[sh.shard(id)].drainPend = append(sh.lanes[sh.shard(id)].drainPend, id)
+	}
+	s.drainPend = s.drainPend[:0]
+	for _, id := range s.pinnedIDs {
+		sh.lanes[sh.shard(id)].pinned = append(sh.lanes[sh.shard(id)].pinned, id)
+	}
+	for i, dc := range s.srcDC {
+		if dc == "" {
+			continue
+		}
+		if w, ok := sh.dcLane[dc]; ok {
+			sh.lanes[w].srcIdx = append(sh.lanes[w].srcIdx, i)
+		}
+	}
+	for w := range sh.lanes {
+		ln := &sh.lanes[w]
+		min := neverTick
+		for _, i := range ln.srcIdx {
+			if s.srcDue[i] < min {
+				min = s.srcDue[i]
+			}
+		}
+		ln.srcMin = min
+	}
+
+	// Run the lanes. Each executes the standard window loop privately up
+	// to S; RunShards is the span's only barrier.
+	sh.inSpan = true
+	sh.runner.RunShards(sh.spanFn)
+	sh.inSpan = false
+
+	// Merge in ascending shard order — deterministic, and observationally
+	// order-free anyway: lanes touch disjoint agents, flows and series.
+	for w := range sh.lanes {
+		ln := &sh.lanes[w]
+		s.liveActive += ln.liveDelta
+		s.active = append(s.active, ln.active...)
+		for _, e := range ln.cal.entries {
+			s.cal.set(e.id, e.key)
+		}
+		ln.cal.clear()
+		s.drainPend = append(s.drainPend, ln.drainPend...)
+		ln.drainPend = ln.drainPend[:0]
+		s.activeFlows += ln.flowDelta
+		s.completedOps += ln.completed
+		s.jumps += ln.jumps
+		s.skipped += ln.skipped
+		s.stretched += ln.windows
+		sh.shardWindows[w] += ln.windows
+		ln.resp.MergeInto(s.Responses)
+		if S > sh.committed[w] {
+			sh.committed[w] = S
+		}
+	}
+	s.activeSorted = false
+	s.sweepStale = true
+	min := neverTick
+	for _, due := range s.srcDue {
+		if due < min {
+			min = due
+		}
+	}
+	s.srcMin = min
+
+	s.clock.AdvanceBy(S - T)
+	s.barriers++
+	if S%s.collectEvery == 0 {
+		s.Collector.Snapshot(s.clock.NowSeconds())
+	}
+}
+
+// laneWindow runs one bulk-dense window on a single lane — a faithful
+// per-shard transcription of Simulation.tickBulk, with the lane's tick,
+// calendar, sets and counters standing in for the global ones. Keeping the
+// phase order and the arithmetic identical is what makes a stretched span
+// bit-identical to the barriered windows it replaces: a lane window's
+// operations are the global window's operations restricted to one shard's
+// agents, and operations on different shards' agents commute (disjoint
+// per-agent state, per-DC round-robin/RNG/gauges, disjoint response keys).
+func (s *Simulation) laneWindow(ln *laneState) {
+	nowSec := s.clock.SecondsAt(ln.tick)
+
+	// Phase 0: the lane's confined sources inject work.
+	if ln.srcMin <= ln.tick {
+		for _, i := range ln.srcIdx {
+			if s.srcDue[i] <= ln.tick {
+				s.sources[i].Poll(s, nowSec)
+				s.srcDue[i] = s.srcDueTick(s.sources[i].NextPoll(nowSec), ln.tick)
+			}
+		}
+		min := neverTick
+		for _, i := range ln.srcIdx {
+			if s.srcDue[i] < min {
+				min = s.srcDue[i]
+			}
+		}
+		ln.srcMin = min
+	}
+
+	s.laneRekey(ln)
+
+	// Jump sizing — quietTicksCal against the lane's calendar and source
+	// schedule, additionally capped at the span end.
+	jump := simtime.Tick(1)
+	if s.fastForward && ln.spanEnd > ln.tick+1 {
+		max := ln.spanEnd - ln.tick
+		if b := s.collectEvery - ln.tick%s.collectEvery; b < max {
+			max = b
+		}
+		if max > 1 {
+			if ln.srcMin != neverTick {
+				if k := ln.srcMin - ln.tick; k < max {
+					max = k
+				}
+			}
+			if h := ln.cal.minKey(); h != neverTick {
+				if k := h - 1 - ln.tick; k < max {
+					max = k
+				}
+			}
+		}
+		if max > 1 {
+			jump = max
+		}
+	}
+	landing := ln.tick + jump
+
+	// The involved set: due calendar entries plus the lane's pinned
+	// agents; laneRekey just ran, so the dirty flag is the dedup gate.
+	ln.invIDs = ln.invIDs[:0]
+	for ln.cal.len() > 0 && ln.cal.minKey() <= landing {
+		id := ln.cal.popMin()
+		b := s.agents[id].Base()
+		b.dirty = true
+		ln.dirty = append(ln.dirty, id)
+		if !b.pendDrain {
+			b.pendDrain = true
+			ln.drainPend = append(ln.drainPend, id)
+		}
+		ln.invIDs = append(ln.invIDs, id)
+	}
+	for _, id := range ln.pinned {
+		b := s.agents[id].Base()
+		if !b.dirty {
+			b.dirty = true
+			ln.dirty = append(ln.dirty, id)
+			ln.invIDs = append(ln.invIDs, id)
+		}
+		if !b.pendDrain {
+			b.pendDrain = true
+			ln.drainPend = append(ln.drainPend, id)
+		}
+	}
+
+	fullSync := landing%s.collectEvery == 0 || landing == ln.limit
+	if fullSync {
+		s.laneCompact(ln)
+		ln.invIDs = append(ln.invIDs[:0], ln.active...)
+	} else if len(ln.invIDs) > 1 {
+		slices.Sort(ln.invIDs)
+	}
+
+	// Phase 1: advance the involved agents through the window, inline —
+	// the per-agent arithmetic of advanceInvolved without the global
+	// advanceTo rendezvous (each lane has its own landing).
+	for _, id := range ln.invIDs {
+		if n := landing - s.agentTick[id]; n > 0 {
+			base := s.agentTick[id]
+			s.agentTick[id] = landing
+			s.advanceAgent(s.agents[id], base, n)
+		}
+	}
+	if jump > 1 {
+		ln.jumps++
+		ln.skipped += uint64(jump - 1)
+	}
+	ln.tick = landing
+
+	// Phase 3: calendar-driven drain in ascending agent-ID order. Enqueues
+	// stay inside the lane (Local flows only), so no mailbox deferral.
+	pend := ln.drainPend
+	ln.drainPend = ln.drainSpare[:0]
+	if len(pend) > 1 {
+		slices.Sort(pend)
+	}
+	for _, id := range pend {
+		s.agents[id].Base().pendDrain = false
+		s.agents[id].Drain(s.drainFn)
+	}
+	ln.drainSpare = pend[:0]
+
+	// Deactivation: involved agents that went idle tombstone in place.
+	for _, id := range ln.invIDs {
+		a := s.agents[id]
+		b := a.Base()
+		if b.active && !b.pinned && a.Idle() {
+			b.active = false
+			ln.liveDelta--
+			ln.cal.remove(id)
+		}
+	}
+
+	s.laneRekey(ln)
+	ln.windows++
+}
+
+// laneRekey is rekeyDirty restricted to a lane: recompute the calendar
+// entry of every agent the lane invalidated, keyed at the agent's own
+// stepped-through tick.
+func (s *Simulation) laneRekey(ln *laneState) {
+	if len(ln.dirty) == 0 {
+		return
+	}
+	for _, id := range ln.dirty {
+		a := s.agents[id]
+		b := a.Base()
+		b.dirty = false
+		if !b.active {
+			ln.cal.remove(id)
+			continue
+		}
+		base := s.agentTick[id]
+		ln.cal.set(id, s.agentKey(s.agentHorizon(a, base), base))
+	}
+	ln.dirty = ln.dirty[:0]
+}
+
+// laneCompact is compactActive restricted to a lane: drop tombstones and
+// restore ascending ID order before a full-sync window serves the whole
+// lane-active set.
+func (s *Simulation) laneCompact(ln *laneState) {
+	kept := ln.active[:0]
+	for _, id := range ln.active {
+		b := s.agents[id].Base()
+		if b.active {
+			kept = append(kept, id)
+		} else {
+			b.listed = false
+		}
+	}
+	ln.active = kept
+	slices.Sort(ln.active)
+}
+
+// SetDCShards installs the data-center-to-shard routing table (normally
+// topology.ShardPlan.DCShard) that lets the stretched-span scheduler
+// resolve lane-confined flows and sources to their owning shard. Without
+// it spans never form and the loop barriers every window. It is a no-op
+// when the sharded runtime is not engaged.
+func (s *Simulation) SetDCShards(m map[string]int) {
+	if s.sh == nil {
+		return
+	}
+	t := make(map[string]int, len(m))
+	for dc, w := range m {
+		if w < 0 || w >= s.sh.n {
+			panic(fmt.Sprintf("core: data center %q assigned to shard %d, have %d shards", dc, w, s.sh.n))
+		}
+		t[dc] = w
+	}
+	s.sh.dcLane = t
 }
 
 // Sharded reports the shard count when the sharded runtime is engaged

@@ -90,6 +90,17 @@ type Config struct {
 	// equivalence tests enforce it — so like the other loop flags this is
 	// an A/B benchmarking and bisection aid, not a safety valve.
 	NoShards bool
+	// NoStretch disables Chandy-Misra window stretching in the sharded
+	// runtime: the simulation still partitions agents onto shards and
+	// defers drain enqueues through the mailboxes, but every calendar
+	// window ends in a global barrier as in the classic conservative loop,
+	// instead of letting each shard run freely through consecutive windows
+	// up to its safe bound. Results are bit-identical with stretching on or
+	// off — the equivalence tests enforce it — so this is the A/B flag for
+	// measuring what the spent lookahead buys (RunStats.Barriers /
+	// RunStats.WindowsStretched), not a safety valve. No effect unless the
+	// sharded runtime is active.
+	NoStretch bool
 	// NoFaults disables fault injection: attachment layers that would
 	// schedule a fault controller (experiment compile) consult
 	// FaultsEnabled and skip it entirely, so the run carries no controller
@@ -175,9 +186,27 @@ type Simulation struct {
 	// an observable effect); srcMin is their minimum. Sources reporting
 	// +Inf are parked until Simulation.RearmSource re-consults them — a
 	// completion callback that re-arms a dormant source must notify the
-	// simulation explicitly.
+	// simulation explicitly. srcDC names, per source, the data center a
+	// lane-confined source (AddLaneSource) injects into — "" for global
+	// sources, whose due ticks bound every stretched span.
 	srcDue []simtime.Tick
 	srcMin simtime.Tick
+	srcDC  []string
+
+	// crossFlows counts the in-flight flows that are not shard-confined:
+	// non-Local cascades (cross-DC hops) and flows carrying an OnComplete
+	// callback (sequential-phase control transfers, e.g. daemon re-arms).
+	// The stretched-span scheduler only forms spans while this is zero —
+	// any such flow could hop between shards mid-window, which only the
+	// barriered loop orders correctly.
+	crossFlows int
+
+	// barriers counts global synchronization points of the sharded loop
+	// (one per classic window, one per stretched span); stretched counts
+	// the shard-local windows executed inside spans. Their ratio is the
+	// headline win of spending the WAN lookahead.
+	barriers  uint64
+	stretched uint64
 
 	// sh is the sharded-runtime state, non-nil only when the engine is a
 	// ShardRunner, the bulk-dense loop is on and Config.NoShards is off.
@@ -240,6 +269,7 @@ func NewSimulation(cfg Config) *Simulation {
 	// engine — including a ShardRunner — through plain Sweep calls.
 	if sr, ok := eng.(ShardRunner); ok && s.bulkDense && !cfg.NoShards {
 		s.sh = newShardState(s, sr, cfg.Seed)
+		s.sh.stretch = !cfg.NoStretch
 	}
 	return s
 }
@@ -276,6 +306,9 @@ func (s *Simulation) NextAgentID() AgentID { return AgentID(len(s.agents)) }
 // AddAgent registers an agent. The agent must have been initialized with
 // the ID returned by the immediately preceding NextAgentID call.
 func (s *Simulation) AddAgent(a Agent) {
+	if s.sh != nil && s.sh.inSpan {
+		panic(fmt.Sprintf("core: agent %q registered inside a stretched span", a.Name()))
+	}
 	if got, want := a.ID(), AgentID(len(s.agents)); got != want {
 		panic(fmt.Sprintf("core: agent %q registered with ID %d, want %d", a.Name(), got, want))
 	}
@@ -308,9 +341,27 @@ func (s *Simulation) AddAgent(a Agent) {
 // present tick, so lazy catch-up starts from here; a tombstoned entry
 // (deactivated but not yet compacted away) is revived in place.
 func (s *Simulation) activate(id AgentID) {
-	if s.sh != nil && s.sh.applying {
-		s.sh.activateLocal(s, id)
-		return
+	if s.sh != nil {
+		if s.sh.applying {
+			s.sh.activateLocal(s, id)
+			return
+		}
+		if s.sh.inSpan {
+			// Stretched span: the activation happened on a shard lane (an
+			// enqueue from that lane's own flows — spans only run
+			// shard-confined work), so it books onto the lane's active list
+			// at the lane's local tick and merges at the exit barrier.
+			ln := &s.sh.lanes[s.sh.shard(id)]
+			ln.liveDelta++
+			s.agentTick[id] = ln.tick
+			b := s.agents[id].Base()
+			if b.listed {
+				return
+			}
+			b.listed = true
+			ln.active = append(ln.active, id)
+			return
+		}
 	}
 	s.liveActive++
 	s.agentTick[id] = s.clock.Now()
@@ -334,9 +385,25 @@ func (s *Simulation) invalidate(id AgentID) {
 	if !s.useCalendar {
 		return
 	}
-	if s.sh != nil && s.sh.applying {
-		s.sh.invalidateLocal(s, id)
-		return
+	if s.sh != nil {
+		if s.sh.applying {
+			s.sh.invalidateLocal(s, id)
+			return
+		}
+		if s.sh.inSpan {
+			// Stretched span: the invalidation came from the agent's own
+			// lane, so it joins that lane's dirty and drain sets — the lane
+			// window loop rekeys and drains with the same gating the global
+			// loop uses.
+			ln := &s.sh.lanes[s.sh.shard(id)]
+			ln.dirty = append(ln.dirty, id)
+			s.hMemoTick[id] = hMemoUnset
+			if b := s.agents[id].Base(); !b.pendDrain {
+				b.pendDrain = true
+				ln.drainPend = append(ln.drainPend, id)
+			}
+			return
+		}
 	}
 	s.dirty = append(s.dirty, id)
 	s.hMemoTick[id] = hMemoUnset
@@ -386,13 +453,31 @@ type SourceHandle int
 // dormant and is re-armed by a completion callback must notify the
 // simulation from that callback.
 func (s *Simulation) AddSource(src Source) SourceHandle {
+	if s.sh != nil && s.sh.inSpan {
+		panic("core: source registered inside a stretched span")
+	}
 	s.sources = append(s.sources, src)
 	due := s.clock.Now()
 	s.srcDue = append(s.srcDue, due)
+	s.srcDC = append(s.srcDC, "")
 	if due < s.srcMin {
 		s.srcMin = due
 	}
 	return SourceHandle(len(s.sources))
+}
+
+// AddLaneSource registers a work source that is confined to one data
+// center: everything it launches is a Local (shard-confined) cascade on
+// dc's agents, it draws randomness only from its own streams, and it never
+// touches cross-DC state. That declaration lets the stretched-span
+// scheduler poll the source from dc's shard lane between barriers instead
+// of treating its due ticks as span bounds. A source registered this way
+// must be fully initialized — its first in-lane Poll cannot intern gauges
+// or otherwise mutate shared simulation state.
+func (s *Simulation) AddLaneSource(src Source, dc string) SourceHandle {
+	h := s.AddSource(src)
+	s.srcDC[h-1] = dc
+	return h
 }
 
 // RearmSource re-consults a parked source's NextPoll schedule. Completion
@@ -404,6 +489,11 @@ func (s *Simulation) AddSource(src Source) SourceHandle {
 func (s *Simulation) RearmSource(h SourceHandle) {
 	if h <= 0 || int(h) > len(s.sources) || !s.useCalendar {
 		return
+	}
+	if s.sh != nil && s.sh.inSpan {
+		// Unreachable by construction: re-arms come from OnComplete
+		// callbacks and those never run inside spans (crossFlows gating).
+		panic("core: RearmSource inside a stretched span")
 	}
 	i := int(h) - 1
 	due := s.srcDueTick(s.sources[i].NextPoll(s.clock.NowSeconds()), s.clock.Now())
@@ -437,6 +527,9 @@ func (s *Simulation) GaugeHandle(key string) Gauge {
 	}
 	if g, ok := s.gaugeIdx[key]; ok {
 		return g
+	}
+	if s.sh != nil && s.sh.inSpan {
+		panic(fmt.Sprintf("core: gauge %q interned inside a stretched span", key))
 	}
 	s.gaugeVals = append(s.gaugeVals, 0)
 	g := Gauge(len(s.gaugeVals)) // 1-based so the zero Gauge means "none"
@@ -650,6 +743,17 @@ func (s *Simulation) tick(limit simtime.Tick) {
 //     set via their SetNotify invalidation. Lazy agents therefore never
 //     hold completions, and skipping their Drain is exact.
 func (s *Simulation) tickBulk(limit simtime.Tick) {
+	// Spend the lookahead first: when the sharded runtime is on, no
+	// cross-shard flow is in flight and no global source is due before the
+	// next synchronization point, the shards can run a stretched span —
+	// many consecutive windows each, meeting only at the exit barrier —
+	// instead of barriering this window.
+	if s.sh != nil {
+		if s.sh.stretch && s.trySpan(limit) {
+			return
+		}
+		s.barriers++
+	}
 	now := s.clock.NowSeconds()
 
 	// Phase 0 (sequential): due sources inject work. Enqueues catch the
@@ -834,6 +938,12 @@ func (s *Simulation) syncAgent(id AgentID) {
 		return
 	}
 	now := s.clock.Now()
+	if s.sh != nil && s.sh.inSpan {
+		// Inside a stretched span "now" is the lane's local tick — the
+		// global clock is parked at the span entry barrier. Lanes only ever
+		// touch their own agents, so the lane of the target is the caller.
+		now = s.sh.lanes[s.sh.shard(id)].tick
+	}
 	n := now - s.agentTick[id]
 	if n <= 0 {
 		return
@@ -1166,11 +1276,21 @@ type RunStats struct {
 	// how many jumps the loop took and how many whole ticks they skipped.
 	Jumps        uint64 `json:"jumps"`
 	SkippedTicks uint64 `json:"skipped_ticks"`
+	// Barriers counts global synchronization points of the sharded run
+	// loop: one per classic window, one per stretched span. Zero for
+	// non-sharded runs. WindowsStretched counts the shard-local windows
+	// executed inside stretched spans — the windows that did NOT pay a
+	// barrier; ShardStretch breaks them down per shard. The stretch ratio
+	// (WindowsStretched+Barriers)/Barriers is the windows-per-barrier win
+	// of spending the WAN lookahead.
+	Barriers         uint64   `json:"barriers,omitempty"`
+	WindowsStretched uint64   `json:"windows_stretched,omitempty"`
+	ShardStretch     []uint64 `json:"shard_stretch,omitempty"`
 }
 
 // Stats snapshots the simulation's run counters.
 func (s *Simulation) Stats() RunStats {
-	return RunStats{
+	st := RunStats{
 		Seconds:      s.clock.NowSeconds(),
 		Ticks:        int64(s.clock.Now()),
 		CompletedOps: s.completedOps,
@@ -1179,7 +1299,41 @@ func (s *Simulation) Stats() RunStats {
 		Agents:       len(s.agents),
 		Jumps:        s.jumps,
 		SkippedTicks: s.skipped,
+		Barriers:     s.barriers,
 	}
+	if s.sh != nil {
+		st.WindowsStretched = s.stretched
+		if s.stretched > 0 {
+			st.ShardStretch = slices.Clone(s.sh.shardWindows)
+		}
+	}
+	return st
+}
+
+// MailboxAudit reports the cross-window mailbox safety telemetry of the
+// sharded runtime: how many deferred hand-offs were applied through the
+// shard mailboxes and the minimum slack (due tick minus the receiving
+// shard's committed horizon, in ticks) observed across all of them. A
+// negative minimum would mean a message was applied before the receiver's
+// safe horizon — the conservative-synchronization violation the property
+// tests pin. ok is false when the sharded runtime is off or nothing was
+// ever applied.
+func (s *Simulation) MailboxAudit() (applied uint64, minSlack simtime.Tick, ok bool) {
+	if s.sh == nil {
+		return 0, 0, false
+	}
+	minSlack = neverTick
+	for i := range s.sh.bufs {
+		b := &s.sh.bufs[i]
+		applied += b.mailApplied
+		if b.mailApplied > 0 && b.mailMinSlack < minSlack {
+			minSlack = b.mailMinSlack
+		}
+	}
+	if applied == 0 {
+		return 0, 0, false
+	}
+	return applied, minSlack, true
 }
 
 // RunFor advances the simulation by d simulated seconds.

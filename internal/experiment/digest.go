@@ -15,12 +15,16 @@ import (
 // iff they are bit-identical — the property the sweep determinism tests
 // pin across worker counts, and the cheapest way to compare a document-
 // compiled experiment against its Go-built equivalent.
+//
+// Loop-shape counters (Jumps, SkippedTicks, Barriers, WindowsStretched)
+// are deliberately excluded: they describe how the time loop partitioned
+// the run — which legitimately differs across the A/B loop flags and with
+// window stretching on or off — not what the simulation computed. Every
+// simulated quantity (completions, ticks, seconds, all samples) is hashed.
 func (res *Result) Digest() string {
 	h := sha256.New()
 	writeU64(h, res.Seed)
 	writeU64(h, res.Stats.CompletedOps)
-	writeU64(h, res.Stats.Jumps)
-	writeU64(h, res.Stats.SkippedTicks)
 	writeU64(h, uint64(res.Stats.Ticks))
 	writeF64(h, res.Stats.Seconds)
 

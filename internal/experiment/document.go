@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -32,15 +33,23 @@ func FromDocument(d *config.Document) (*Experiment, error) {
 		opts = append(opts, WithStep(d.Step))
 	}
 	if d.Engine != "" {
-		mk, err := ParseEngine(d.Engine)
+		engine := d.Engine
+		// "sharded:auto" resolves against the document's own topology:
+		// min(GOMAXPROCS, DC count) — as many workers as the machine offers,
+		// never more than the per-DC partition can fill.
+		if engine == "sharded:auto" {
+			engine = fmt.Sprintf("sharded:%d", AutoShards(len(d.Infrastructure.DCs)))
+		}
+		mk, err := ParseEngine(engine)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: document %s: %w", d.Name, err)
 		}
 		// Shard counts above the DC count would leave shards empty — the
 		// per-DC partition has nothing to put on them — so the declarative
-		// surface rejects the request instead of silently wasting workers.
-		if n := ShardedCount(d.Engine); n > len(d.Infrastructure.DCs) {
-			return nil, fmt.Errorf("experiment: document %s: engine %q wants %d shards but the topology has %d data centers",
+		// surface rejects the request instead of silently wasting workers
+		// (engine "sharded:auto" picks a valid count automatically).
+		if n := ShardedCount(engine); n > len(d.Infrastructure.DCs) {
+			return nil, fmt.Errorf("experiment: document %s: engine %q wants %d shards but the topology has %d data centers (use \"sharded:auto\" to pick min(GOMAXPROCS, DCs))",
 				d.Name, d.Engine, n, len(d.Infrastructure.DCs))
 		}
 		opts = append(opts, WithEngine(mk))
@@ -174,9 +183,16 @@ func ParseEngine(s string) (func() core.Engine, error) {
 	kind, rest, _ := strings.Cut(s, ":")
 	switch kind {
 	case "sharded":
+		if rest == "auto" {
+			// Without a topology in hand, "auto" can only see the machine;
+			// surfaces that know the DC count (FromDocument, the gdisim CLI)
+			// resolve min(GOMAXPROCS, DCs) before getting here.
+			n := runtime.GOMAXPROCS(0)
+			return func() core.Engine { return dispatch.NewSharded(n) }, nil
+		}
 		shards, err := strconv.Atoi(rest)
 		if err != nil || shards < 1 {
-			return nil, fmt.Errorf("engine %q: want sharded:<shards>", s)
+			return nil, fmt.Errorf("engine %q: want sharded:<shards> or sharded:auto", s)
 		}
 		return func() core.Engine { return dispatch.NewSharded(shards) }, nil
 	case "", "sequential":
@@ -204,7 +220,22 @@ func ParseEngine(s string) (func() core.Engine, error) {
 		}
 		return func() core.Engine { return dispatch.NewHDispatch(threads, setSize) }, nil
 	}
-	return nil, fmt.Errorf("unknown engine %q (have sequential, scattergather:<n>, hdispatch:<n>[:<set>], sharded:<n>)", s)
+	return nil, fmt.Errorf("unknown engine %q (have sequential, scattergather:<n>, hdispatch:<n>[:<set>], sharded:<n>, sharded:auto)", s)
+}
+
+// AutoShards resolves the "sharded:auto" shard count against a topology:
+// min(GOMAXPROCS, DC count), floored at 1 — as many shard workers as the
+// machine can run concurrently, never more than the per-DC partition can
+// populate.
+func AutoShards(dcs int) int {
+	n := runtime.GOMAXPROCS(0)
+	if dcs < n {
+		n = dcs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // ShardedCount returns the shard count of a "sharded:<n>" engine selector,

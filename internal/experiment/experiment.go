@@ -74,6 +74,11 @@ type LoopFlags struct {
 	// runtime (partition, mailboxes, shard-local window phases) — the A/B
 	// switch isolating what sharding itself buys.
 	NoShards bool
+	// NoStretch keeps the sharded runtime but disables Chandy-Misra window
+	// stretching, restoring the barrier-per-window loop — the A/B switch
+	// isolating what spending the WAN lookahead buys (compare
+	// Result.Stats.Barriers / WindowsStretched).
+	NoStretch bool
 	// NoFaults skips fault-controller attachment entirely, turning any
 	// chaos scenario back into its healthy baseline — bit-identical to a
 	// run that never declared faults.
@@ -457,6 +462,7 @@ func (e *Experiment) Compile() (*Run, error) {
 		NoBulkDense:   e.flags.NoBulkDense,
 		NoThinning:    e.flags.NoThinning,
 		NoShards:      e.flags.NoShards,
+		NoStretch:     e.flags.NoStretch,
 		NoFaults:      e.flags.NoFaults,
 	})
 	inf, err := topology.Build(sim, *e.infra)
@@ -476,6 +482,10 @@ func (e *Experiment) Compile() (*Run, error) {
 			return nil, fmt.Errorf("experiment %s: %w", e.name, err)
 		}
 		sim.SetShardAssignment(plan.Assign)
+		// The DC-to-shard routing table is what lets the run loop stretch
+		// windows: lane-confined flows and sources resolve their owning
+		// shard through it (core.SetDCShards documents the contract).
+		sim.SetDCShards(plan.DCShard)
 	}
 
 	r := &Run{
@@ -565,7 +575,18 @@ func (e *Experiment) attachWorkloads(r *Run) error {
 			ThinBelow:      w.ThinBelow,
 			Stream:         w.Stream,
 		}
-		r.Sim.AddSource(src)
+		// Workloads whose access matrix confines them to their own data
+		// center register lane-confined (eagerly initialized — no RNG
+		// draws, so bit-identical to lazy init): the stretched-span
+		// scheduler may then poll them inside their DC's shard lane
+		// instead of barriering at each of their due ticks. Everything
+		// else — cross-DC matrices in particular — stays a global source.
+		if src.LaneSafe() {
+			src.InitSource(r.Sim)
+			r.Sim.AddLaneSource(src, src.DC)
+		} else {
+			r.Sim.AddSource(src)
+		}
 		if w.Gauges {
 			r.Sim.Collector.Register(r.Sim.GaugeProbe(prefix + ":active"))
 			// The loggedin series samples the population curve directly at

@@ -42,11 +42,14 @@ type CaseConfig struct {
 	// law, not the RNG draw sequence).
 	// NoShards keeps a sharded Engine's workers but disables the sharded
 	// runtime — the A/B baseline BenchmarkShardScaling measures against.
+	// NoStretch keeps the sharded runtime but pins a global barrier on
+	// every window — the A/B baseline for Chandy-Misra window stretching.
 	NoFastForward bool
 	NoCalendar    bool
 	NoBulkDense   bool
 	NoThinning    bool
 	NoShards      bool
+	NoStretch     bool
 }
 
 // defaults fills the scenario-specific zero values. The shared defaults
@@ -73,6 +76,7 @@ func (c *CaseConfig) loopFlags() experiment.LoopFlags {
 		NoBulkDense:   c.NoBulkDense,
 		NoThinning:    c.NoThinning,
 		NoShards:      c.NoShards,
+		NoStretch:     c.NoStretch,
 	}
 }
 

@@ -41,6 +41,7 @@ type DayNightConfig struct {
 	NoBulkDense   bool
 	NoThinning    bool
 	NoShards      bool
+	NoStretch     bool
 }
 
 // defaults fills the scenario-specific zero values; the shared defaults
@@ -102,6 +103,7 @@ func RunDayNight(cfg DayNightConfig) (*DayNightResult, error) {
 			NoBulkDense:   cfg.NoBulkDense,
 			NoThinning:    cfg.NoThinning,
 			NoShards:      cfg.NoShards,
+			NoStretch:     cfg.NoStretch,
 		}),
 		experiment.WithAccessMatrix(workload.SingleMaster([]string{"NA"}, "NA")),
 		experiment.WithWorkload(experiment.Workload{

@@ -47,6 +47,21 @@ func TestShardedEquivalenceValidation(t *testing.T) {
 			t.Errorf("NoShards digest diverged from sequential loop:\n%s\n%s", ref, got)
 		}
 	})
+	// NoStretch A/B: sharded runtime with a global barrier on every window —
+	// window stretching must not have changed a bit relative to this baseline.
+	t.Run("sharded-4-nostretch", func(t *testing.T) {
+		res, err := RunValidation(ValidationConfig{
+			Experiment: 1, Seed: 42, Engine: dispatch.NewSharded(4),
+			LaunchFor: 120, RunFor: 150, SteadyStart: 30, SteadyEnd: 120,
+			NoStretch: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Result.Digest(); got != ref {
+			t.Errorf("NoStretch digest diverged from sequential loop:\n%s\n%s", ref, got)
+		}
+	})
 }
 
 // TestShardedEquivalenceConsolidation covers the seven-DC consolidation
@@ -57,10 +72,11 @@ func TestShardedEquivalenceConsolidation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sharded equivalence matrix skipped in -short")
 	}
-	run := func(eng core.Engine) string {
+	run := func(eng core.Engine, noStretch bool) string {
 		t.Helper()
 		cs, err := NewConsolidation(CaseConfig{
 			Step: 0.01, Seed: 7, Scale: 0.1, StartHour: 3, EndHour: 4, Engine: eng,
+			NoStretch: noStretch,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -68,14 +84,19 @@ func TestShardedEquivalenceConsolidation(t *testing.T) {
 		cs.Run()
 		return cs.Result.Digest()
 	}
-	ref := run(&core.SequentialEngine{})
+	ref := run(&core.SequentialEngine{}, false)
 	for _, n := range shardCounts {
 		t.Run(fmt.Sprintf("sharded-%d", n), func(t *testing.T) {
-			if got := run(dispatch.NewSharded(n)); got != ref {
+			if got := run(dispatch.NewSharded(n), false); got != ref {
 				t.Errorf("digest diverged from sequential loop:\n%s\n%s", ref, got)
 			}
 		})
 	}
+	t.Run("sharded-4-nostretch", func(t *testing.T) {
+		if got := run(dispatch.NewSharded(4), true); got != ref {
+			t.Errorf("NoStretch digest diverged from sequential loop:\n%s\n%s", ref, got)
+		}
+	})
 }
 
 // TestShardedEquivalenceDayNight covers the thinned day-night client
@@ -86,19 +107,26 @@ func TestShardedEquivalenceDayNight(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sharded equivalence matrix skipped in -short")
 	}
-	run := func(eng core.Engine) string {
+	run := func(eng core.Engine, noStretch bool) string {
 		t.Helper()
-		res, err := RunDayNight(DayNightConfig{Seed: 42, Hours: 6, Engine: eng})
+		res, err := RunDayNight(DayNightConfig{Seed: 42, Hours: 6, Engine: eng, NoStretch: noStretch})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res.Result.Digest()
 	}
-	ref := run(&core.SequentialEngine{})
+	ref := run(&core.SequentialEngine{}, false)
 	for _, n := range shardCounts {
 		t.Run(fmt.Sprintf("sharded-%d", n), func(t *testing.T) {
-			if got := run(dispatch.NewSharded(n)); got != ref {
+			if got := run(dispatch.NewSharded(n), false); got != ref {
 				t.Errorf("digest diverged from sequential loop:\n%s\n%s", ref, got)
+			}
+		})
+		// The day-night scenario is where stretching bites hardest, so the
+		// NoStretch baseline runs at every shard count, not just one.
+		t.Run(fmt.Sprintf("sharded-%d-nostretch", n), func(t *testing.T) {
+			if got := run(dispatch.NewSharded(n), true); got != ref {
+				t.Errorf("NoStretch digest diverged from sequential loop:\n%s\n%s", ref, got)
 			}
 		})
 	}
@@ -140,4 +168,13 @@ func TestShardedEquivalenceChaos(t *testing.T) {
 			}
 		})
 	}
+	t.Run("sharded-4-nostretch", func(t *testing.T) {
+		got := run(
+			experiment.WithEngine(func() core.Engine { return dispatch.NewSharded(4) }),
+			experiment.WithLoopFlags(experiment.LoopFlags{NoStretch: true}),
+		)
+		if got != ref {
+			t.Errorf("NoStretch digest diverged from sequential loop:\n%s\n%s", ref, got)
+		}
+	})
 }

@@ -1,0 +1,155 @@
+package scenarios
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/experiment"
+)
+
+// TestStretchBarrierDrop is the headline guarantee of window stretching:
+// on the fine-step day-night scenario with per-tick Poisson polls (the
+// worst case for the classic one-barrier-per-window loop), spans must cut
+// global barriers by at least 5x while reproducing the NoStretch and
+// sequential digests bit for bit. In practice the drop is ~3 orders of
+// magnitude — spans run straight to the next collector boundary — but the
+// test pins only the acceptance floor so slower machines with fewer
+// stretching opportunities still pass.
+func TestStretchBarrierDrop(t *testing.T) {
+	run := func(noStretch bool) *DayNightResult {
+		t.Helper()
+		res, err := RunDayNight(DayNightConfig{
+			Seed: 42, Hours: 1, NoThinning: true,
+			Engine: dispatch.NewSharded(1), NoStretch: noStretch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	on := run(false)
+	off := run(true)
+
+	if on.Result.Stats.WindowsStretched == 0 {
+		t.Fatal("stretching never engaged; the test pins nothing")
+	}
+	if off.Result.Stats.WindowsStretched != 0 {
+		t.Errorf("NoStretch run stretched %d windows, want 0", off.Result.Stats.WindowsStretched)
+	}
+	if on.Result.Stats.Barriers == 0 || off.Result.Stats.Barriers == 0 {
+		t.Fatalf("barrier counters empty: on=%d off=%d", on.Result.Stats.Barriers, off.Result.Stats.Barriers)
+	}
+	if ratio := float64(off.Result.Stats.Barriers) / float64(on.Result.Stats.Barriers); ratio < 5 {
+		t.Errorf("barriers dropped only %.1fx (on=%d off=%d), want >= 5x",
+			ratio, on.Result.Stats.Barriers, off.Result.Stats.Barriers)
+	}
+	if len(on.Result.Stats.ShardStretch) == 0 {
+		t.Error("stretched run reported no per-shard stretch counters")
+	}
+
+	// Stretching must not change a single bit of what the run computed.
+	seq, err := RunDayNight(DayNightConfig{Seed: 42, Hours: 1, NoThinning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := on.Result.Digest(), off.Result.Digest(); a != b {
+		t.Errorf("stretched digest diverged from NoStretch:\n%s\n%s", a, b)
+	}
+	if a, b := on.Result.Digest(), seq.Result.Digest(); a != b {
+		t.Errorf("stretched digest diverged from sequential loop:\n%s\n%s", a, b)
+	}
+}
+
+// TestMailboxDueTimeSafety is the lookahead-safety property test: every
+// cross-shard mailbox message carries a WAN-delayed due time, and the
+// receiving shard must never apply one at a tick earlier than its
+// committed safe horizon. The apply path panics on a violation, so the
+// test's job is to prove the property was actually exercised — the
+// consolidation platform pushes thousands of cross-DC cascade hops through
+// the mailboxes — and that the observed slack never went negative.
+func TestMailboxDueTimeSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mailbox safety property skipped in -short")
+	}
+	cs, err := NewConsolidation(CaseConfig{
+		Step: 0.01, Seed: 7, Scale: 0.1, StartHour: 3, EndHour: 4,
+		Engine: dispatch.NewSharded(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Run()
+	applied, minSlack, ok := cs.Sim.MailboxAudit()
+	if !ok {
+		t.Fatal("no cross-shard mailbox traffic; the property was never exercised")
+	}
+	if applied == 0 {
+		t.Fatal("mailbox audit reports zero applied messages")
+	}
+	if minSlack < 0 {
+		t.Errorf("a mailbox message was applied %d ticks before its receiver's safe horizon", -minSlack)
+	}
+	t.Logf("mailbox audit: %d messages applied, minimum slack %d ticks", applied, minSlack)
+}
+
+// TestChaosStretchBarriers pins the fault-schedule contract under window
+// stretching: the fault controller is a global source, so its next
+// transition tick bounds every span and forces a global barrier exactly on
+// schedule — injections and recoveries land at their configured instants,
+// never absorbed into a stretched span, and the faulted run stays
+// bit-identical to its NoStretch twin.
+func TestChaosStretchBarriers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos stretch leg skipped in -short")
+	}
+	run := func(extra ...experiment.Option) *experiment.Result {
+		t.Helper()
+		e, err := chaosExperiment(extra...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ir := res.Faults.Injections[0]
+		if ir.InjectedAt != 120 || ir.RecoveredAt != 240 {
+			t.Fatalf("fault transitions at %v/%v, want exactly 120/240 — a stretched span crossed a fault tick",
+				ir.InjectedAt, ir.RecoveredAt)
+		}
+		return res
+	}
+	mkEngine := experiment.WithEngine(func() core.Engine { return dispatch.NewSharded(3) })
+	on := run(mkEngine)
+	off := run(mkEngine, experiment.WithLoopFlags(experiment.LoopFlags{NoStretch: true}))
+	if a, b := on.Digest(), off.Digest(); a != b {
+		t.Errorf("faulted run diverged between stretch and NoStretch:\n%s\n%s", a, b)
+	}
+}
+
+// TestAutoShards pins the "sharded:auto" resolution rule on both surfaces:
+// the helper itself and a compiled document.
+func TestAutoShards(t *testing.T) {
+	if n := experiment.AutoShards(1); n != 1 {
+		t.Errorf("AutoShards(1) = %d, want 1", n)
+	}
+	if n := experiment.AutoShards(0); n < 1 {
+		t.Errorf("AutoShards(0) = %d, want >= 1", n)
+	}
+	for _, dcs := range []int{1, 2, 7, 64} {
+		n := experiment.AutoShards(dcs)
+		if n < 1 || n > dcs && dcs >= 1 {
+			t.Errorf("AutoShards(%d) = %d out of [1, %d]", dcs, n, dcs)
+		}
+	}
+	if _, err := experiment.ParseEngine("sharded:auto"); err != nil {
+		t.Errorf("ParseEngine(sharded:auto): %v", err)
+	}
+	if _, err := experiment.ParseEngine("sharded:nope"); err == nil {
+		t.Error("ParseEngine(sharded:nope) accepted a malformed count")
+	} else if want := "sharded:auto"; !strings.Contains(err.Error(), want) {
+		t.Errorf("shard-count error %q does not mention %q", err, want)
+	}
+}

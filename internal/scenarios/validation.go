@@ -79,10 +79,13 @@ type ValidationConfig struct {
 	// keeps the calendar but restores lock-step sweeps and drains (A/B
 	// comparisons; results are bit-identical in all four modes).
 	// NoShards disables the sharded runtime of a sharded Engine (A/B).
+	// NoStretch keeps the sharded runtime but pins a global barrier on
+	// every window — the A/B baseline for Chandy-Misra window stretching.
 	NoFastForward bool
 	NoCalendar    bool
 	NoBulkDense   bool
 	NoShards      bool
+	NoStretch     bool
 }
 
 func (c *ValidationConfig) defaults() error {
@@ -115,6 +118,7 @@ func (c *ValidationConfig) loopFlags() experiment.LoopFlags {
 		NoCalendar:    c.NoCalendar,
 		NoBulkDense:   c.NoBulkDense,
 		NoShards:      c.NoShards,
+		NoStretch:     c.NoStretch,
 	}
 }
 

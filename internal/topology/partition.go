@@ -34,11 +34,17 @@ type ShardPlan struct {
 	// backup) entering the shard from another shard. No event generated
 	// on a remote shard can affect shard w sooner than this bound after
 	// crossing the WAN — the classic distance-based PDES window. +Inf
-	// when nothing enters the shard. The current engine synchronizes
-	// every window regardless (cascade control transfers are not limited
-	// to WAN delays; see DESIGN.md), so the bound is reported for
-	// diagnostics and as the safe window for future shard-local stepping,
-	// not consumed by the loop.
+	// when nothing enters the shard. The runtime spends this slack
+	// structurally rather than numerically: shard-local cascades never
+	// cross shards at all, so whenever every in-flight flow is
+	// shard-confined (core tracks the cross-flow count) the loop
+	// stretches windows into spans bounded only by global-source due
+	// times and collector boundaries, and every cross-shard mailbox
+	// message carries its WAN-delayed due time, audited against the
+	// receiver's committed safe horizon (see DESIGN.md, "Lookahead and
+	// window stretching"). The per-shard bound itself remains a
+	// diagnostic: it quantifies how much slack a latency-based scheme
+	// could claim when cross-DC flows are live.
 	LookaheadSec []float64
 }
 
