@@ -508,17 +508,20 @@ func BenchmarkShardScaling(b *testing.B) {
 }
 
 // BenchmarkWindowStretch measures what spending the WAN lookahead buys:
-// the same run with Chandy-Misra window stretching on (default) and off
-// (Config.NoStretch — the per-window global barrier of the sharded PR).
-// Two regimes: "night" is the fine-step day-night scenario with per-tick
-// Poisson polls, where every agent lives in one DC and spans run straight
-// to the next collector boundary — barriers collapse by orders of
-// magnitude; "peak" is the dense consolidation business hour, where
-// cross-DC cascades keep flows global and stretching must stand aside
-// without costing anything. Results are bit-identical on vs off
-// (TestStretchBarrierDrop, the NoStretch equivalence legs); compare ns/op
-// and the barriers metric between the paired rows. Numbers land in
-// BENCH_lookahead.json.
+// the same run with Chandy-Misra window stretching on (default), off
+// (Config.NoStretch — the per-window global barrier of the sharded PR),
+// and cross-blocked (Config.NoCrossStretch — stretching that stands aside
+// whenever a cross-capable flow is live, the behavior before mid-span
+// mailbox delivery). Two regimes: "night" is the fine-step day-night
+// scenario with per-tick Poisson polls, where every agent lives in one DC
+// and spans run straight to the next collector boundary — barriers
+// collapse by orders of magnitude; "peak" is the dense consolidation
+// business hour, where cross-DC cascades keep global tokens permanently in
+// flight and spans can only form inside the per-shard WAN lookahead
+// through the shard inboxes. Results are bit-identical across all rows
+// (TestStretchBarrierDrop, TestMailboxDueTimeSafety, the NoStretch
+// equivalence legs); compare ns/op, barriers and windows-stretched between
+// the paired rows. Numbers land in BENCH_lookahead.json.
 func BenchmarkWindowStretch(b *testing.B) {
 	night := func(b *testing.B, shards int, noStretch bool) {
 		b.Helper()
@@ -539,17 +542,18 @@ func BenchmarkWindowStretch(b *testing.B) {
 		b.ReportMetric(float64(stretched), "windows-stretched")
 		b.ReportMetric(float64(ops), "ops")
 	}
-	peak := func(b *testing.B, shards int, noStretch bool) {
+	peak := func(b *testing.B, shards int, noStretch, noCross bool) {
 		b.Helper()
 		b.ReportAllocs()
-		var barriers, stretched uint64
+		var barriers, stretched, mailed uint64
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			cs, err := scenarios.NewConsolidation(scenarios.CaseConfig{
 				Step: 0.01, Seed: 7, Scale: 1,
 				StartHour: 13, EndHour: 14,
-				Engine:    dispatch.NewSharded(shards),
-				NoStretch: noStretch,
+				Engine:         dispatch.NewSharded(shards),
+				NoStretch:      noStretch,
+				NoCrossStretch: noCross,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -559,19 +563,21 @@ func BenchmarkWindowStretch(b *testing.B) {
 			cs.Sim.RunFor(30)
 			b.StopTimer()
 			st := cs.Sim.Stats()
-			barriers, stretched = st.Barriers, st.WindowsStretched
+			barriers, stretched, mailed = st.Barriers, st.WindowsStretched, st.MailboxApplied
 			cs.Sim.Shutdown()
 			b.StartTimer()
 		}
 		b.ReportMetric(float64(barriers), "barriers")
 		b.ReportMetric(float64(stretched), "windows-stretched")
+		b.ReportMetric(float64(mailed), "mailbox-applied")
 	}
 	for _, n := range []int{1, 4, 8} {
 		n := n
 		b.Run(fmt.Sprintf("night/shards-%d/stretch", n), func(b *testing.B) { night(b, n, false) })
 		b.Run(fmt.Sprintf("night/shards-%d/nostretch", n), func(b *testing.B) { night(b, n, true) })
-		b.Run(fmt.Sprintf("peak/shards-%d/stretch", n), func(b *testing.B) { peak(b, n, false) })
-		b.Run(fmt.Sprintf("peak/shards-%d/nostretch", n), func(b *testing.B) { peak(b, n, true) })
+		b.Run(fmt.Sprintf("peak/shards-%d/stretch", n), func(b *testing.B) { peak(b, n, false, false) })
+		b.Run(fmt.Sprintf("peak/shards-%d/nocross", n), func(b *testing.B) { peak(b, n, false, true) })
+		b.Run(fmt.Sprintf("peak/shards-%d/nostretch", n), func(b *testing.B) { peak(b, n, true, false) })
 	}
 }
 

@@ -386,10 +386,15 @@ func smoke(name, shards string, verbose bool) {
 
 // printStretchStats reports the sharded runtime's synchronization shape:
 // how many global barriers the run paid and how many windows ran inside
-// stretched spans instead, per shard when the partition engaged.
+// stretched spans instead, per shard when the partition engaged, plus the
+// cross-shard mailbox audit (hand-offs applied and the tightest slack
+// against a delivery's WAN-delayed due instant).
 func printStretchStats(st core.RunStats) {
 	fmt.Printf("  global barriers %d, windows stretched %d\n", st.Barriers, st.WindowsStretched)
 	if len(st.ShardStretch) > 0 {
 		fmt.Printf("  per-shard stretched windows: %v\n", st.ShardStretch)
+	}
+	if st.MailboxApplied > 0 {
+		fmt.Printf("  mailbox deliveries %d, min slack %d ticks\n", st.MailboxApplied, st.MailboxMinSlack)
 	}
 }

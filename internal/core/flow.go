@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/queueing"
+	"repro/internal/simtime"
 )
 
 // Stage is one hop of a message through the infrastructure: a piece of work
@@ -73,13 +74,20 @@ type OpRun struct {
 	Local bool
 }
 
-// Flow is an in-flight operation instance.
+// Flow is an in-flight operation instance. global marks it cross-capable:
+// a non-Local cascade (its messages may hop shards) or one carrying an
+// OnComplete callback (a sequential-phase control transfer). Global flows
+// execute their mid-chain stages on shard lanes like any other work, but
+// their control points — step expansion, chain completion, the callback —
+// run only in sequential phases; the span scheduler bounds every span so
+// none of those can fire inside one.
 type Flow struct {
 	id          uint64
 	op          OpRun
 	step        int
 	outstanding int
 	start       float64
+	global      bool
 }
 
 // token is one in-flight message of a flow traversing its stages. The
@@ -87,11 +95,29 @@ type Flow struct {
 // finished tokens return to a simulation-owned free list — message launch
 // is the hottest allocation site of busy hours. Tokens are only created
 // and retired in sequential phases, so the pool needs no locking.
+//
+// The trailing fields exist for cross-capable (Flow.global) tokens under
+// the sharded runtime: global marks the token registered in
+// Simulation.crossToks at reg (swap-removed at tokenDone); home is the
+// shard owning the queue the token currently resides on, maintained on
+// every enqueue, so a lane advancing the token mid-span can tell a local
+// hand-off from a cross-shard one; stageTick is the tick the task entered
+// its current stage (the anchor for chain-completion bounds on queues
+// whose per-task state is not readable, like a delay line's heap); parked,
+// when non-zero, is the due tick of the inbox entry the token is waiting
+// in — set by the mid-span cross-shard post, cleared when the entry
+// applies.
 type token struct {
 	flow   *Flow
 	stages []Stage
 	idx    int
 	task   queueing.Task
+
+	global    bool
+	home      int32
+	reg       int32
+	stageTick simtime.Tick
+	parked    simtime.Tick
 }
 
 // newToken pops a pooled token or allocates a fresh one.
@@ -114,9 +140,11 @@ func (s *Simulation) freeToken(tok *token) {
 }
 
 // flowLane resolves the lane executing flows of the given data center
-// during a stretched span, or nil outside spans. Every flow live inside a
-// span is Local (startOp enforces it), so its DC names both the lane that
-// launched it and the only lane that can ever touch it.
+// during a stretched span, or nil outside spans. Every flow routed through
+// here inside a span is Local (cross-capable flows branch on Flow.global
+// before resolving a lane — a global flow's DC names where its client
+// sits, not where its work runs), so the DC names both the lane that
+// launched the flow and the only lane that can ever touch it.
 func (s *Simulation) flowLane(dc string) *laneState {
 	if s.sh == nil || !s.sh.inSpan {
 		return nil
@@ -160,8 +188,9 @@ func (s *Simulation) startOp(op OpRun) *Flow {
 	}
 	s.nextFlowID++
 	f := &Flow{id: s.nextFlowID, op: op, step: -1, start: s.clock.NowSeconds()}
+	f.global = !op.Local || op.OnComplete != nil
 	s.activeFlows++
-	if !op.Local || op.OnComplete != nil {
+	if f.global {
 		s.crossFlows++
 	}
 	s.AddGaugeBy(op.Gauge, 1)
@@ -173,8 +202,21 @@ func (s *Simulation) startOp(op OpRun) *Flow {
 // tokens, or completes the flow when no steps remain. Steps that expand to
 // zero messages complete immediately, so the loop continues until a step
 // launches work or the flow ends.
+//
+// Step expansion is not lane-safe (route caching, load-balancer state, RNG
+// draws), so a cross-capable flow only ever advances in sequential phases
+// — the span scheduler guarantees it by ending every span strictly before
+// any such flow's chain-completion bound, and the panic keeps the
+// guarantee honest.
 func (s *Simulation) advanceFlow(f *Flow) {
-	ln := s.flowLane(f.op.DC)
+	var ln *laneState
+	if f.global {
+		if s.sh != nil && s.sh.inSpan {
+			panic(fmt.Sprintf("core: cross-capable flow %d advanced inside a stretched span — chain-completion bound violated", f.id))
+		}
+	} else {
+		ln = s.flowLane(f.op.DC)
+	}
 	for {
 		f.step++
 		if f.step >= f.op.NumSteps {
@@ -200,6 +242,12 @@ func (s *Simulation) advanceFlow(f *Flow) {
 			tok.flow = f
 			tok.stages = plan.Stages
 			tok.task.Payload = tok
+			if f.global && s.sh != nil {
+				// Register for the span scheduler's per-token guard.
+				tok.global = true
+				tok.reg = int32(len(s.crossToks))
+				s.crossToks = append(s.crossToks, tok)
+			}
 			s.startStage(tok)
 		}
 		return
@@ -218,13 +266,27 @@ func (s *Simulation) startStage(tok *token) {
 		if st.Queue != nil {
 			tok.task.Demand = st.Demand
 			tok.task.Delay = st.Delay
-			// Sharded drain phase: post the hand-off to the target shard's
-			// mailbox instead of enqueueing inline; the barrier at the end
-			// of the drain applies every mailbox shard-parallel with the
-			// exact sync/enqueue/activate sequence below.
-			if sh := s.sh; sh != nil && sh.deferring {
-				sh.post(s, st.Queue, &tok.task)
-				return
+			if sh := s.sh; sh != nil {
+				// Sharded drain phase: post the hand-off to the target
+				// shard's mailbox instead of enqueueing inline; the
+				// barrier at the end of the drain applies every mailbox
+				// shard-parallel with the exact sync/enqueue/activate
+				// sequence below.
+				if sh.deferring {
+					sh.post(s, st.Queue, &tok.task)
+					return
+				}
+				// Cross-capable token advancing mid-span: a hand-off to
+				// another shard's agent parks in that shard's inbox, due
+				// after the span ends (the WAN latency is the lookahead
+				// that makes the due tick safe); a same-shard hand-off
+				// proceeds inline on this lane.
+				if sh.inSpan && tok.global {
+					if sh.shard(st.Queue.ID()) != tok.home {
+						sh.postInbox(s, st.Queue, tok)
+						return
+					}
+				}
 			}
 			// Under the bulk-dense loop the target may be lazily stepped;
 			// replay its deficit before the enqueue mutates its queues, so
@@ -237,6 +299,20 @@ func (s *Simulation) startStage(tok *token) {
 			// tick; hardware agents also self-activate in Enqueue, but
 			// routing through here covers custom agents too.
 			st.Queue.Base().MarkActive()
+			if tok.global {
+				// Maintain the span scheduler's view: where the token
+				// lives and when it entered the stage.
+				if sh := s.sh; sh != nil {
+					tok.home = sh.shard(st.Queue.ID())
+					if sh.inSpan {
+						tok.stageTick = sh.lanes[tok.home].tick
+					} else {
+						tok.stageTick = s.clock.Now()
+					}
+				} else {
+					tok.stageTick = s.clock.Now()
+				}
+			}
 			return
 		}
 		// Instantaneous stage: run End and fall through to the next.
@@ -263,10 +339,25 @@ func (s *Simulation) onTaskDone(t *queueing.Task) {
 }
 
 // tokenDone accounts a finished message within its flow and recycles the
-// token.
+// token. A cross-capable token's chain end is a sequential-phase event by
+// construction (the span scheduler ends spans before any chain-completion
+// bound); it also unregisters from the span scheduler's token registry.
 func (s *Simulation) tokenDone(tok *token) {
 	f := tok.flow
-	if ln := s.flowLane(f.op.DC); ln != nil {
+	if tok.global {
+		if s.sh != nil && s.sh.inSpan {
+			panic(fmt.Sprintf("core: cross-capable message of flow %d completed inside a stretched span — chain-completion bound violated", f.id))
+		}
+		if s.sh != nil {
+			last := len(s.crossToks) - 1
+			i := int(tok.reg)
+			s.crossToks[i] = s.crossToks[last]
+			s.crossToks[i].reg = int32(i)
+			s.crossToks[last] = nil
+			s.crossToks = s.crossToks[:last]
+		}
+		s.freeToken(tok)
+	} else if ln := s.flowLane(f.op.DC); ln != nil {
 		ln.freeToken(tok)
 	} else {
 		s.freeToken(tok)
@@ -287,23 +378,27 @@ func (s *Simulation) tokenDone(tok *token) {
 // exit barrier. A flow may start on one path and complete on the other —
 // the delta accounting composes either way.
 func (s *Simulation) completeFlow(f *Flow) {
-	if ln := s.flowLane(f.op.DC); ln != nil {
-		now := s.clock.SecondsAt(ln.tick)
-		dur := now - f.start
-		ln.flowDelta--
-		s.AddGaugeBy(f.op.Gauge, -1)
-		if !f.op.Silent {
-			ln.resp.Record(f.op.Name, f.op.DC, now, dur)
+	if !f.global {
+		if ln := s.flowLane(f.op.DC); ln != nil {
+			now := s.clock.SecondsAt(ln.tick)
+			dur := now - f.start
+			ln.flowDelta--
+			s.AddGaugeBy(f.op.Gauge, -1)
+			if !f.op.Silent {
+				ln.resp.Record(f.op.Name, f.op.DC, now, dur)
+			}
+			ln.completed++
+			return
 		}
-		ln.completed++
-		// OnComplete-bearing flows never enter lanes: startOp rejects them
-		// and the span scheduler refuses to form spans while any is live.
-		return
 	}
+	// Cross-capable flows complete here unconditionally: their last
+	// message's tokenDone is a sequential-phase event by construction, and
+	// the OnComplete callback (when present) must see the global
+	// simulation, not a lane.
 	now := s.clock.NowSeconds()
 	dur := now - f.start
 	s.activeFlows--
-	if !f.op.Local || f.op.OnComplete != nil {
+	if f.global {
 		s.crossFlows--
 	}
 	s.AddGaugeBy(f.op.Gauge, -1)

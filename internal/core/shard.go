@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"slices"
+	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/queueing"
@@ -30,18 +32,68 @@ type ShardRunner interface {
 }
 
 // mailEntry is one deferred cross-phase enqueue: a task handed to a queue
-// agent during the sequential drain, buffered into the owning shard's
-// timestamped mailbox and applied at the end-of-drain barrier. due is the
-// earliest tick at which the task can have an observable effect on the
-// receiver: the posting window's landing tick plus the whole ticks covered
-// by the task's fixed delay (for WAN-link hops, the link latency — the
-// lookahead of the conservative protocol). The apply phase audits that no
-// entry is ever applied past-due relative to the receiving shard's
-// committed horizon; the property tests pin the audit.
+// agent either during the sequential drain (buffered into the owning
+// shard's mailbox, applied at the end-of-drain barrier) or mid-span from a
+// shard lane (posted into the target shard's inbox, applied at the next
+// application point — span entry, collector-boundary span exit, or the
+// next barrier window). due is the earliest tick at which the task can
+// have an observable effect on the receiver: the posting tick plus the
+// whole ticks covered by the task's fixed delay (for WAN-link hops, the
+// link latency — the lookahead of the conservative protocol). post is the
+// tick the enqueue happened at in sequential terms; lat snapshots the
+// target link's latency then, so a late application can reconstruct the
+// latency countdown bit-exactly (queueing.ReplayLatency). src and seq
+// order concurrent posts the way the sequential drain would have: the
+// drain visits agents in ascending ID at each tick, and seq preserves the
+// completion order within one agent's drain. The apply phase audits that
+// no replayed entry is ever applied at or past its due tick; the property
+// tests pin the audit.
 type mailEntry struct {
-	q   QueueAgent
-	t   *queueing.Task
-	due simtime.Tick
+	q    QueueAgent
+	t    *queueing.Task
+	due  simtime.Tick
+	post simtime.Tick
+	lat  float64
+	src  AgentID
+	seq  uint64
+}
+
+// cmpMail orders inbox entries the way the sequential drain enqueued them:
+// by tick, then by the draining agent's ID (the drain visits agents in
+// ascending ID order), then by the per-lane post sequence (completion
+// order within one agent's drain — one lane per agent makes it a valid
+// global tiebreak). Due-time order would be wrong: a degraded link's
+// longer latency can invert due order against post order.
+func cmpMail(a, b mailEntry) int {
+	switch {
+	case a.post != b.post:
+		if a.post < b.post {
+			return -1
+		}
+		return 1
+	case a.src != b.src:
+		if a.src < b.src {
+			return -1
+		}
+		return 1
+	case a.seq != b.seq:
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// shardInbox is one shard's mid-span inbound mailbox: cross-shard posts
+// from any lane land here under the mutex (the only lock in the span path;
+// posts are rare — one per WAN hop — and never contend with the owner,
+// which only drains the inbox at sequential application points). The
+// trailing pad keeps adjacent inboxes off one cache line.
+type shardInbox struct {
+	mu   sync.Mutex
+	pend []mailEntry
+	_    [64]byte
 }
 
 // shardBuf collects the activation/invalidation side effects a shard's
@@ -94,6 +146,23 @@ type shardState struct {
 	// calendar windows on its own lane, bounded by the next collector
 	// boundary, the run end and the earliest global-source due tick.
 	stretch bool
+	// noCross restores the PR 8 binary guard (Config.NoCrossStretch):
+	// spans form only while no cross-capable flow is in flight. By default
+	// spans instead bound themselves by the per-token chain-completion
+	// guard plus the WAN lookahead and survive live cross-DC cascades.
+	noCross bool
+	// lookTicks is the installed WAN lookahead in ticks: the minimum over
+	// all shards with a finite topology.ShardPlan.LookaheadSec of that
+	// bound's TicksIn. Every mid-span cross-shard post targets a transit
+	// link whose latency is at least the receiving shard's bound, so any
+	// post made at lane tick p carries due >= p + lookTicks — capping a
+	// span at entry+lookTicks keeps every post due strictly beyond the
+	// span end. Zero means not installed (SetShardLookahead never called,
+	// or some shard's inbound latency rounds to zero ticks): spans then
+	// refuse to form while any token may still cross shards — the
+	// conservative PR 8 behavior. neverTick means unbounded (no shard has
+	// a finite bound, so no cross-shard edge exists at all).
+	lookTicks simtime.Tick
 	// dcLane maps each data-center name to its owning shard — the routing
 	// table lane-confined flows and sources resolve through. Installed by
 	// SetDCShards from the topology partition; spans never form while it
@@ -108,9 +177,14 @@ type shardState struct {
 	committed    []simtime.Tick
 
 	mail [][]mailEntry
-	bufs []shardBuf
-	inv  [][]Agent   // involved-sweep partition scratch
-	pre  [][]AgentID // horizon-precompute partition scratch
+	// inbox[w] receives mid-span cross-shard posts bound for shard w; mail
+	// (above) receives the sequential drain's deferred enqueues. Both feed
+	// applyEntry, but on different schedules: mail applies at the same tick
+	// it was posted, inbox entries whole ticks later with a latency replay.
+	inbox []shardInbox
+	bufs  []shardBuf
+	inv   [][]Agent   // involved-sweep partition scratch
+	pre   [][]AgentID // horizon-precompute partition scratch
 
 	// Per-phase worker functions, bound once so the RunShards calls a
 	// window (or span) makes allocate no closures.
@@ -129,6 +203,7 @@ func newShardState(s *Simulation, runner ShardRunner, seed uint64) *shardState {
 		shardWindows: make([]uint64, n),
 		committed:    make([]simtime.Tick, n),
 		mail:         make([][]mailEntry, n),
+		inbox:        make([]shardInbox, n),
 		bufs:         make([]shardBuf, n),
 		inv:          make([][]Agent, n),
 		pre:          make([][]AgentID, n),
@@ -144,26 +219,10 @@ func newShardState(s *Simulation, runner ShardRunner, seed uint64) *shardState {
 	}
 	st.applyFn = func(w int) {
 		box := st.mail[w]
-		horizon := st.committed[w]
+		now := s.clock.Now()
 		b := &st.bufs[w]
 		for i := range box {
-			e := &box[i]
-			// Conservative-synchronization audit: an entry applied with a
-			// due tick behind the receiver's committed horizon would mean
-			// the message should already have influenced state the shard
-			// advanced past — a protocol violation, never a recoverable
-			// condition.
-			if e.due < horizon {
-				panic(fmt.Sprintf("core: shard %d mailbox entry due at tick %d applied past the committed horizon %d",
-					w, e.due, horizon))
-			}
-			if slack := e.due - horizon; slack < b.mailMinSlack {
-				b.mailMinSlack = slack
-			}
-			b.mailApplied++
-			s.syncAgent(e.q.ID())
-			e.q.Enqueue(e.t)
-			e.q.Base().MarkActive()
+			st.applyEntry(s, &box[i], now, b)
 			box[i] = mailEntry{}
 		}
 		st.mail[w] = box[:0]
@@ -200,11 +259,116 @@ func (st *shardState) shard(id AgentID) int32 {
 // WAN lookahead as its safety margin over the receiver's horizon.
 func (st *shardState) post(s *Simulation, q QueueAgent, t *queueing.Task) {
 	w := st.shard(q.ID())
-	due := s.clock.Now()
+	now := s.clock.Now()
+	due := now
 	if t.Delay > 0 {
 		due += s.clock.TicksIn(t.Delay)
 	}
-	st.mail[w] = append(st.mail[w], mailEntry{q: q, t: t, due: due})
+	st.mail[w] = append(st.mail[w], mailEntry{q: q, t: t, due: due, post: now})
+}
+
+// applyEntry commits one deferred enqueue onto its target agent with the
+// exact sync/enqueue/activate sequence the flow router would have run
+// inline. Barrier-mail entries apply at their posting tick and reduce to
+// that inline sequence verbatim. Inbox entries apply whole ticks after
+// their post: the target is a latencied transit link whose task spends
+// those ticks in its latency phase — consuming no bandwidth, holding only
+// one of k connection slots — so the only state the late enqueue must
+// reconstruct is the latency countdown, which ReplayLatency rebuilds
+// bit-exactly from the snapshotted latency and the elapsed whole ticks.
+// That reconstruction is only exact if the task would have held a slot
+// from its posting instant, so a contended link is a loud protocol
+// failure, never a silent divergence. The audit pins the conservative
+// protocol: a replayed entry applied at or past its due tick would mean
+// the receiver may already have advanced through state the message should
+// have influenced.
+func (st *shardState) applyEntry(s *Simulation, e *mailEntry, applyTick simtime.Tick, b *shardBuf) {
+	if applyTick > e.post && applyTick >= e.due {
+		panic(fmt.Sprintf("core: mailbox entry posted at tick %d, due at %d, applied at %d — past its due instant",
+			e.post, e.due, applyTick))
+	}
+	if slack := e.due - applyTick; slack < b.mailMinSlack {
+		b.mailMinSlack = slack
+	}
+	b.mailApplied++
+	s.syncAgent(e.q.ID())
+	replay := applyTick > e.post
+	if replay {
+		sf, ok := e.q.(interface{ FreeSlot() bool })
+		if !ok || !sf.FreeSlot() {
+			panic(fmt.Sprintf("core: replayed cross-shard delivery onto contended transit %T — latency replay would diverge", e.q))
+		}
+	}
+	e.q.Enqueue(e.t)
+	if replay {
+		e.t.Delay = queueing.ReplayLatency(e.lat, int(applyTick-e.post), s.clock.Step())
+	}
+	e.q.Base().MarkActive()
+	if tok, ok := e.t.Payload.(*token); ok {
+		tok.parked = 0
+		tok.stageTick = applyTick
+		tok.home = st.shard(e.q.ID())
+	}
+}
+
+// postInbox parks a mid-span cross-shard hand-off in the target shard's
+// inbox. The posting lane stamps the entry with its own tick, the target
+// link's latency (the entry's lookahead) and the sequential-order key; the
+// token records its due tick so the span scheduler can bound later spans
+// by the parked chain's earliest possible completion. The due assertion is
+// the conservative protocol made executable: trySpan capped this span at
+// entry+lookTicks, and every admissible target's latency covers at least
+// that many ticks, so a post due inside its own span is a scheduler bug.
+func (st *shardState) postInbox(s *Simulation, q QueueAgent, tok *token) {
+	w := st.shard(q.ID())
+	ln := &st.lanes[tok.home]
+	lq, ok := q.(interface{ Latency() float64 })
+	if !ok {
+		panic(fmt.Sprintf("core: mid-span cross-shard hand-off to %T, want a latencied transit link", q))
+	}
+	if sg := &tok.stages[tok.idx]; sg.Begin != nil || sg.End != nil {
+		panic(fmt.Sprintf("core: cross-shard stage on %s carries Begin/End hooks — those run on the wrong lane mid-span", q.Base().Name()))
+	}
+	lat := lq.Latency()
+	post := ln.tick
+	due := post + s.clock.TicksIn(lat)
+	if due <= ln.spanEnd {
+		panic(fmt.Sprintf("core: mid-span cross-shard post at tick %d due at %d, inside its own span (end %d) — lookahead bound violated",
+			post, due, ln.spanEnd))
+	}
+	tok.parked = due
+	ln.postSeq++
+	e := mailEntry{q: q, t: &tok.task, due: due, post: post, lat: lat, src: ln.drainSrc, seq: ln.postSeq}
+	ib := &st.inbox[w]
+	ib.mu.Lock()
+	ib.pend = append(ib.pend, e)
+	ib.mu.Unlock()
+}
+
+// flushInbox applies every pending cross-shard inbox entry sequentially at
+// the current tick, in sequential drain order. It runs at the application
+// points outside lanes: the start of a barrier window (before the sources
+// poll, so fault callbacks and probes read queues with all in-flight
+// cross-shard work delivered) and a span exit that lands on a collector
+// boundary or the run limit (before the snapshot, for the same reason).
+// Every application point lies strictly before the earliest pending due
+// tick — posts are due beyond their span's end, and these points are the
+// first sequential instants after it — which the applyEntry audit checks.
+func (st *shardState) flushInbox(s *Simulation) {
+	now := s.clock.Now()
+	for w := range st.inbox {
+		ib := &st.inbox[w]
+		if len(ib.pend) == 0 {
+			continue
+		}
+		slices.SortFunc(ib.pend, cmpMail)
+		b := &st.bufs[w]
+		for i := range ib.pend {
+			st.applyEntry(s, &ib.pend[i], now, b)
+			ib.pend[i] = mailEntry{}
+		}
+		ib.pend = ib.pend[:0]
+	}
 }
 
 // sweepInvolved advances the window's involved agents shard-locally:
@@ -331,22 +495,35 @@ func (st *shardState) precomputeHorizons(s *Simulation) {
 // DC-confined sources, gauges interned per DC, and per-agent memo slots.
 // The trailing pad keeps adjacent lanes off one cache line.
 type laneState struct {
+	w       int32        // the lane's own shard index
 	tick    simtime.Tick // the lane's local clock
 	spanEnd simtime.Tick // the span's exit barrier tick
 	limit   simtime.Tick // the run-level limit (full-sync detection)
 
-	cal       calendar
-	active    []AgentID
-	pinned    []AgentID
-	dirty     []AgentID
-	drainPend []AgentID
+	cal        calendar
+	active     []AgentID
+	pinned     []AgentID
+	dirty      []AgentID
+	drainPend  []AgentID
 	drainSpare []AgentID
-	invIDs    []AgentID
+	invIDs     []AgentID
 
 	// srcIdx indexes the lane's confined sources in s.sources/s.srcDue;
 	// srcMin caches their minimum due tick, mirroring Simulation.srcMin.
 	srcIdx []int
 	srcMin simtime.Tick
+
+	// inboxBatch holds the shard's pending inbox entries snapshotted at
+	// span entry (already in sequential drain order); the lane applies
+	// them first thing in its first window, at the span-entry tick —
+	// always strictly before any entry's due tick, since every entry was
+	// posted in an earlier span with due beyond that span's end. drainSrc
+	// is the agent currently draining (the sequential-order key of any
+	// cross-shard post its completions trigger) and postSeq the lane's
+	// monotonic post counter.
+	inboxBatch []mailEntry
+	drainSrc   AgentID
+	postSeq    uint64
 
 	// Per-span deltas merged into the global counters at the exit barrier.
 	liveDelta int
@@ -389,25 +566,35 @@ func (ln *laneState) freeToken(tok *token) {
 //
 //   - a DC-to-shard routing table is installed (SetDCShards) — without it
 //     nothing can be lane-confined;
-//   - no cross-shard flow is in flight (crossFlows == 0): every live flow
-//     is Local with no completion callback, so all of its remaining work
-//     stays inside one shard;
 //   - no agent registration is pending (rebind);
 //   - no global source — a source not registered lane-confined, or
-//     confined to an unmapped DC — comes due before the span would end.
+//     confined to an unmapped DC — comes due before the span would end;
+//   - no cross-capable flow can complete a message chain inside the span:
+//     chain-end completion re-enters non-lane-safe code (step expansion,
+//     load balancing, RNG draws), so the span ends strictly before every
+//     registered token's conservative chain-completion bound (tokenGuard);
+//   - when any such token may still hop shards, the span additionally
+//     stays within the installed WAN lookahead, so every mid-span post is
+//     due beyond the span's end (see shardState.lookTicks).
+//
+// Under Config.NoCrossStretch the last two bounds collapse back to the
+// binary guard: no span while any cross-capable flow is in flight.
 //
 // The span bound S is the earliest of: the run limit, the next collector
-// boundary, and the earliest global-source due tick. Spans must cover at
-// least two ticks to beat the classic window; otherwise the caller falls
-// back to the barriered path.
+// boundary, the earliest global-source due tick, and the cross-token
+// bounds. Spans must cover at least two ticks to beat the classic window;
+// otherwise the caller falls back to the barriered path.
 func (s *Simulation) trySpan(limit simtime.Tick) bool {
 	sh := s.sh
-	if len(sh.dcLane) == 0 || s.crossFlows != 0 || s.rebind {
+	if len(sh.dcLane) == 0 || s.rebind {
+		return false
+	}
+	if sh.noCross && s.crossFlows != 0 {
 		return false
 	}
 	now := s.clock.Now()
 	S := limit
-	if b := now + s.collectEvery - now%s.collectEvery; b < S {
+	if b := nextCollectBoundary(now, s.collectEvery); b < S {
 		S = b
 	}
 	for i, dc := range s.srcDC {
@@ -420,11 +607,117 @@ func (s *Simulation) trySpan(limit simtime.Tick) bool {
 			S = s.srcDue[i]
 		}
 	}
+	if len(s.crossToks) > 0 {
+		anyCross := false
+		for _, tok := range s.crossToks {
+			lb, mayCross := s.tokenGuard(tok)
+			if lb-1 < S {
+				S = lb - 1
+			}
+			anyCross = anyCross || mayCross
+		}
+		if anyCross {
+			switch {
+			case sh.lookTicks == 0:
+				return false // lookahead not installed: PR 8 conservative blocking
+			case sh.lookTicks < neverTick:
+				if c := now + sh.lookTicks; c < S {
+					S = c
+				}
+			}
+		}
+	}
 	if S <= now+1 {
 		return false
 	}
 	s.runSpan(S, limit)
 	return true
+}
+
+// tokenGuard derives, for one live cross-capable message token, a
+// conservative lower bound lb on the tick its final stage can complete
+// (spans must end strictly before it — chain-end completion is not
+// lane-safe) and whether any of its remaining stage transitions still
+// crosses shards (only then does the WAN-lookahead cap apply; an
+// all-local-remaining chain, e.g. a daemon's intra-DC tail, never posts).
+//
+// The bound is the fast-forward arithmetic run in reverse: an event at
+// least rem seconds after real time anchor·step cannot be observed before
+// anchor + 1 + WholeTicksBefore(rem − ffGuard). rem sums, per remaining
+// stage, a lower bound on its residence time:
+//
+//   - the current stage uses live task state — the latency countdown plus
+//     the transfer at full (uncontended) rate for a latencied PS link, the
+//     task's own service demand for a known-rate FCFS queue, the unmutated
+//     fixed delay for a delay line — anchored at the tick that state was
+//     advanced through (agentTick, or the stage-entry tick for the delay
+//     line, whose heap state is not readable per-task);
+//   - a token parked in an inbox anchors at its due tick: the latency
+//     countdown runs from the posting tick regardless of when the entry
+//     applies, and cannot have expired before due, so only the transfer
+//     and later stages remain (the loop discounts one tick against the
+//     ceil-rounded due, hence no +1 on this anchor);
+//   - future stages contribute their declared delay, service demand at the
+//     target's current rate when it exposes one, and transit latency —
+//     all valid through the span because rates and latencies change only
+//     at fault ticks, and the fault controller is a global source whose
+//     due tick already bounds every span.
+//
+// Queues exposing no rate contribute zero — conservative, shrinking the
+// bound, never overshooting it.
+func (s *Simulation) tokenGuard(tok *token) (lb simtime.Tick, mayCross bool) {
+	sh := s.sh
+	stages := tok.stages
+	idx := tok.idx
+	cur := stages[idx].Queue
+	prevW := sh.shard(cur.ID())
+	rem := 0.0
+	for i := idx + 1; i < len(stages); i++ {
+		st := &stages[i]
+		if st.Queue == nil {
+			continue
+		}
+		w := sh.shard(st.Queue.ID())
+		if w != prevW {
+			mayCross = true
+		}
+		prevW = w
+		rem += st.Delay
+		if r, ok := st.Queue.(interface{ Rate() float64 }); ok {
+			rem += st.Demand / r.Rate()
+		}
+		if l, ok := st.Queue.(interface{ Latency() float64 }); ok {
+			rem += l.Latency()
+		}
+	}
+	t := &tok.task
+	if tok.parked != 0 {
+		if r, ok := cur.(interface{ Rate() float64 }); ok {
+			rem += t.Demand / r.Rate()
+		}
+		return tok.parked + s.clock.WholeTicksBefore(rem-ffGuard), mayCross
+	}
+	var anchor simtime.Tick
+	r, hasRate := cur.(interface{ Rate() float64 })
+	_, hasLat := cur.(interface{ Latency() float64 })
+	switch {
+	case hasRate && hasLat: // latencied PS link: live countdown, full-rate transfer
+		anchor = s.agentTick[cur.ID()]
+		rem += t.Delay + t.Demand/r.Rate()
+	case hasRate: // FCFS with a known per-server rate: own service time
+		anchor = s.agentTick[cur.ID()]
+		rem += t.Demand / r.Rate()
+	default:
+		// Anchored at stage entry: the tick the enqueue happened at. A
+		// delay line holds the task exactly its unmutated fixed delay; a
+		// rateless queue contributes nothing (its declared stage delay is
+		// ignored by FCFS, so counting it would overshoot the bound).
+		anchor = tok.stageTick
+		if _, ok := cur.(*DelayLine); ok {
+			rem += t.Delay
+		}
+	}
+	return anchor + 1 + s.clock.WholeTicksBefore(rem-ffGuard), mayCross
 }
 
 // runSpan executes one stretched span [T, S): partition the global loop
@@ -449,6 +742,7 @@ func (s *Simulation) runSpan(S, limit simtime.Tick) {
 		sh.lanes = make([]laneState, sh.n)
 		for w := range sh.lanes {
 			ln := &sh.lanes[w]
+			ln.w = int32(w)
 			ln.resp = metrics.NewResponses()
 			// Lane task/flow IDs live in a per-shard band so they never
 			// collide with the sequential counters; IDs are bookkeeping
@@ -509,6 +803,22 @@ func (s *Simulation) runSpan(S, limit simtime.Tick) {
 		ln.srcMin = min
 	}
 
+	// Hand each shard's pending inbox entries to its lane, sorted into
+	// sequential drain order; the lane applies them first thing in its
+	// first window, at tick T — strictly before any entry's due tick,
+	// since all of them were posted in an earlier span with due > T.
+	// Mid-span posts land in the (empty again) inboxes for the next
+	// application point.
+	for w := range sh.inbox {
+		ib := &sh.inbox[w]
+		if len(ib.pend) == 0 {
+			continue
+		}
+		slices.SortFunc(ib.pend, cmpMail)
+		ln := &sh.lanes[w]
+		ln.inboxBatch, ib.pend = ib.pend, ln.inboxBatch[:0]
+	}
+
 	// Run the lanes. Each executes the standard window loop privately up
 	// to S; RunShards is the span's only barrier.
 	sh.inSpan = true
@@ -550,8 +860,17 @@ func (s *Simulation) runSpan(S, limit simtime.Tick) {
 
 	s.clock.AdvanceBy(S - T)
 	s.barriers++
-	if S%s.collectEvery == 0 {
-		s.Collector.Snapshot(s.clock.NowSeconds())
+	if S%s.collectEvery == 0 || S == limit {
+		// The snapshot (and, at the limit, whatever runs after the loop)
+		// reads queue counters, so in-flight cross-shard deliveries must
+		// be in their queues first. Off-boundary span exits skip the
+		// flush: pending entries carry into the next span's entry batch
+		// or the next barrier window's flush, still ahead of their due
+		// ticks.
+		sh.flushInbox(s)
+		if S%s.collectEvery == 0 {
+			s.Collector.Snapshot(s.clock.NowSeconds())
+		}
 	}
 }
 
@@ -564,6 +883,22 @@ func (s *Simulation) runSpan(S, limit simtime.Tick) {
 // agents, and operations on different shards' agents commute (disjoint
 // per-agent state, per-DC round-robin/RNG/gauges, disjoint response keys).
 func (s *Simulation) laneWindow(ln *laneState) {
+	// Entry batch: cross-shard deliveries snapshotted at span entry apply
+	// before anything else in the lane's first window, so they precede
+	// every same-tick lane-local enqueue onto the same queues — the order
+	// the sequential loop produced, where these tasks arrived whole ticks
+	// ago. (Loaded only at span entry, so the batch is non-empty at most
+	// in the first window.)
+	if len(ln.inboxBatch) > 0 {
+		sh := s.sh
+		b := &sh.bufs[ln.w]
+		for i := range ln.inboxBatch {
+			sh.applyEntry(s, &ln.inboxBatch[i], ln.tick, b)
+			ln.inboxBatch[i] = mailEntry{}
+		}
+		ln.inboxBatch = ln.inboxBatch[:0]
+	}
+
 	nowSec := s.clock.SecondsAt(ln.tick)
 
 	// Phase 0: the lane's confined sources inject work.
@@ -662,14 +997,17 @@ func (s *Simulation) laneWindow(ln *laneState) {
 	}
 	ln.tick = landing
 
-	// Phase 3: calendar-driven drain in ascending agent-ID order. Enqueues
-	// stay inside the lane (Local flows only), so no mailbox deferral.
+	// Phase 3: calendar-driven drain in ascending agent-ID order. Lane
+	// flows' enqueues stay inside the lane; a cross-capable token whose
+	// next stage lives on another shard posts to that shard's inbox, with
+	// the draining agent's ID recorded as the sequential-order key.
 	pend := ln.drainPend
 	ln.drainPend = ln.drainSpare[:0]
 	if len(pend) > 1 {
 		slices.Sort(pend)
 	}
 	for _, id := range pend {
+		ln.drainSrc = id
 		s.agents[id].Base().pendDrain = false
 		s.agents[id].Drain(s.drainFn)
 	}
@@ -733,6 +1071,13 @@ func (s *Simulation) laneCompact(ln *laneState) {
 // resolve lane-confined flows and sources to their owning shard. Without
 // it spans never form and the loop barriers every window. It is a no-op
 // when the sharded runtime is not engaged.
+//
+// Every lane-confined source (AddLaneSource) must name a data center in
+// the table: an unmapped lane source would silently fall back to global
+// treatment — its due ticks bounding every span — which is a wiring bug,
+// not a tuning choice. SetDCShards validates the sources registered so
+// far and AddLaneSource validates later registrations against the
+// installed table, so the two orders of assembly are covered.
 func (s *Simulation) SetDCShards(m map[string]int) {
 	if s.sh == nil {
 		return
@@ -744,7 +1089,53 @@ func (s *Simulation) SetDCShards(m map[string]int) {
 		}
 		t[dc] = w
 	}
+	for i, dc := range s.srcDC {
+		if dc == "" {
+			continue
+		}
+		if _, ok := t[dc]; !ok {
+			panic(fmt.Sprintf("core: lane-confined source %d bound to data center %q, which the shard plan does not partition (have %s)",
+				i+1, dc, dcNames(t)))
+		}
+	}
 	s.sh.dcLane = t
+}
+
+// dcNames renders the partitioned data-center names for error messages.
+func dcNames(m map[string]int) string {
+	names := make([]string, 0, len(m))
+	for dc := range m {
+		names = append(names, dc)
+	}
+	slices.Sort(names)
+	return fmt.Sprintf("%v", names)
+}
+
+// SetShardLookahead installs the per-shard conservative lookahead bounds
+// (normally topology.ShardPlan.LookaheadSec): for each shard, the minimum
+// latency over all WAN links entering it from another shard. The runtime
+// folds them to the global minimum in ticks — the span cap that keeps
+// every mid-span cross-shard post due strictly beyond its span's end (see
+// shardState.lookTicks). Shards with an infinite bound (nothing enters
+// them) are skipped; with no finite bound at all, spans are uncapped
+// because no cross-shard edge exists. Without this call, spans refuse to
+// form while any cross-capable token may still hop shards — the
+// conservative pre-lookahead behavior. It is a no-op when the sharded
+// runtime is not engaged.
+func (s *Simulation) SetShardLookahead(sec []float64) {
+	if s.sh == nil {
+		return
+	}
+	min := simtime.Tick(neverTick)
+	for _, l := range sec {
+		if math.IsInf(l, 1) {
+			continue
+		}
+		if k := s.clock.TicksIn(l); k < min {
+			min = k
+		}
+	}
+	s.sh.lookTicks = min
 }
 
 // Sharded reports the shard count when the sharded runtime is engaged

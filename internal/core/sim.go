@@ -101,6 +101,15 @@ type Config struct {
 	// RunStats.WindowsStretched), not a safety valve. No effect unless the
 	// sharded runtime is active.
 	NoStretch bool
+	// NoCrossStretch keeps window stretching for shard-confined traffic but
+	// restores the pre-lookahead guard for cross-shard traffic: spans only
+	// form while no cross-shard flow is in flight, instead of bounding the
+	// span by the WAN lookahead and each live cross token's conservative
+	// completion bound. Results are bit-identical with the flag on or off —
+	// the equivalence tests enforce it — so this is the A/B switch for
+	// measuring what mid-span cross-DC delivery buys on its own, separate
+	// from what NoStretch measures. No effect unless stretching is active.
+	NoCrossStretch bool
 	// NoFaults disables fault injection: attachment layers that would
 	// schedule a fault controller (experiment compile) consult
 	// FaultsEnabled and skip it entirely, so the run carries no controller
@@ -196,10 +205,21 @@ type Simulation struct {
 	// crossFlows counts the in-flight flows that are not shard-confined:
 	// non-Local cascades (cross-DC hops) and flows carrying an OnComplete
 	// callback (sequential-phase control transfers, e.g. daemon re-arms).
-	// The stretched-span scheduler only forms spans while this is zero —
-	// any such flow could hop between shards mid-window, which only the
-	// barriered loop orders correctly.
+	// Under Config.NoCrossStretch the stretched-span scheduler only forms
+	// spans while this is zero; by default it instead walks crossToks — the
+	// live message tokens of those flows — and bounds each span by every
+	// token's conservative chain-completion bound plus the WAN lookahead,
+	// so spans survive live cross-DC cascades (see trySpan).
 	crossFlows int
+
+	// crossToks registers every live token of a cross-capable flow
+	// (Flow.global). Tokens register at creation and unregister at
+	// tokenDone, both sequential phases; token.reg holds the index for
+	// swap-removal. trySpan derives, per token, a lower bound on the tick
+	// its final stage can complete — chain-end completion re-enters
+	// non-lane-safe code (step expansion, load balancing, RNG), so spans
+	// must end strictly before the earliest such bound.
+	crossToks []*token
 
 	// barriers counts global synchronization points of the sharded loop
 	// (one per classic window, one per stretched span); stretched counts
@@ -270,6 +290,7 @@ func NewSimulation(cfg Config) *Simulation {
 	if sr, ok := eng.(ShardRunner); ok && s.bulkDense && !cfg.NoShards {
 		s.sh = newShardState(s, sr, cfg.Seed)
 		s.sh.stretch = !cfg.NoStretch
+		s.sh.noCross = cfg.NoCrossStretch
 	}
 	return s
 }
@@ -475,6 +496,15 @@ func (s *Simulation) AddSource(src Source) SourceHandle {
 // must be fully initialized — its first in-lane Poll cannot intern gauges
 // or otherwise mutate shared simulation state.
 func (s *Simulation) AddLaneSource(src Source, dc string) SourceHandle {
+	if dc == "" {
+		panic("core: lane-confined source registered with an empty data-center name")
+	}
+	if s.sh != nil && len(s.sh.dcLane) > 0 {
+		if _, ok := s.sh.dcLane[dc]; !ok {
+			panic(fmt.Sprintf("core: lane-confined source bound to data center %q, which the shard plan does not partition (have %s)",
+				dc, dcNames(s.sh.dcLane)))
+		}
+	}
 	h := s.AddSource(src)
 	s.srcDC[h-1] = dc
 	return h
@@ -492,7 +522,9 @@ func (s *Simulation) RearmSource(h SourceHandle) {
 	}
 	if s.sh != nil && s.sh.inSpan {
 		// Unreachable by construction: re-arms come from OnComplete
-		// callbacks and those never run inside spans (crossFlows gating).
+		// callbacks, OnComplete-bearing flows are cross-capable, and the
+		// span scheduler ends every span strictly before any cross-capable
+		// chain can complete (trySpan's tokenGuard bound).
 		panic("core: RearmSource inside a stretched span")
 	}
 	i := int(h) - 1
@@ -753,6 +785,11 @@ func (s *Simulation) tickBulk(limit simtime.Tick) {
 			return
 		}
 		s.barriers++
+		// Entries a lane posted mid-span and no later span consumed apply
+		// now, before the sources poll: fault callbacks and probes sample
+		// queue counters, so the in-flight cross-shard work must be in its
+		// queues by the time anything sequential reads them.
+		s.sh.flushInbox(s)
 	}
 	now := s.clock.NowSeconds()
 
@@ -1036,7 +1073,7 @@ const ffGuard = 1e-6
 func (s *Simulation) quietTicks(limit simtime.Tick) simtime.Tick {
 	now := s.clock.Now()
 	max := limit - now
-	if b := s.collectEvery - now%s.collectEvery; b < max {
+	if b := nextCollectBoundary(now, s.collectEvery) - now; b < max {
 		max = b
 	}
 	if max <= 1 {
@@ -1215,6 +1252,17 @@ func (s *Simulation) popDue(now simtime.Tick) {
 	}
 }
 
+// nextCollectBoundary returns the first collector-snapshot tick strictly
+// after now: a window or span standing exactly on a boundary has already
+// snapshotted it, so the next synchronization point is one full period
+// ahead, never the current tick. The sequential jump sizers (quietTicks,
+// quietTicksCal) and the span scheduler (trySpan) must share this
+// arithmetic — a drifted bound would let a span swallow a snapshot tick or
+// truncate a jump a boundary early.
+func nextCollectBoundary(now, every simtime.Tick) simtime.Tick {
+	return now + (every - now%every)
+}
+
 // quietTicksCal is the calendar-indexed replacement for quietTicks: the
 // same jump bound — strictly before the earliest agent event, at or before
 // the earliest due poll, capped at the collector boundary and limit — read
@@ -1223,7 +1271,7 @@ func (s *Simulation) popDue(now simtime.Tick) {
 func (s *Simulation) quietTicksCal(limit simtime.Tick) simtime.Tick {
 	now := s.clock.Now()
 	max := limit - now
-	if b := s.collectEvery - now%s.collectEvery; b < max {
+	if b := nextCollectBoundary(now, s.collectEvery) - now; b < max {
 		max = b
 	}
 	if max <= 1 {
@@ -1286,6 +1334,12 @@ type RunStats struct {
 	Barriers         uint64   `json:"barriers,omitempty"`
 	WindowsStretched uint64   `json:"windows_stretched,omitempty"`
 	ShardStretch     []uint64 `json:"shard_stretch,omitempty"`
+	// MailboxApplied / MailboxMinSlack mirror MailboxAudit: cross-shard
+	// hand-offs applied through the shard mailboxes, and the minimum slack
+	// (due tick minus apply tick) observed across them. MailboxMinSlack is
+	// meaningful only when MailboxApplied > 0.
+	MailboxApplied  uint64 `json:"mailbox_applied,omitempty"`
+	MailboxMinSlack int64  `json:"mailbox_min_slack,omitempty"`
 }
 
 // Stats snapshots the simulation's run counters.
@@ -1306,18 +1360,29 @@ func (s *Simulation) Stats() RunStats {
 		if s.stretched > 0 {
 			st.ShardStretch = slices.Clone(s.sh.shardWindows)
 		}
+		if applied, minSlack, ok := s.MailboxAudit(); ok {
+			st.MailboxApplied = applied
+			st.MailboxMinSlack = int64(minSlack)
+		}
 	}
 	return st
 }
 
-// MailboxAudit reports the cross-window mailbox safety telemetry of the
-// sharded runtime: how many deferred hand-offs were applied through the
-// shard mailboxes and the minimum slack (due tick minus the receiving
-// shard's committed horizon, in ticks) observed across all of them. A
-// negative minimum would mean a message was applied before the receiver's
-// safe horizon — the conservative-synchronization violation the property
-// tests pin. ok is false when the sharded runtime is off or nothing was
-// ever applied.
+// MailboxAudit reports the cross-shard delivery telemetry of the sharded
+// runtime: how many hand-offs were applied through the shard mailboxes —
+// barrier-drain deferrals and mid-span cross-shard posts alike — and the
+// minimum slack (due tick minus the tick the entry was applied at, in
+// ticks) observed across all of them. A negative minimum would mean a
+// message was applied after its WAN-delayed due instant — past the point
+// where its absence could have changed the receiver's state — the
+// conservative-synchronization violation the property tests pin.
+//
+// The contract is exactly two shapes: (0, 0, false) when the sharded
+// runtime is off or no message was ever applied, and
+// (applied, minSlack, true) otherwise. The minimum folds only shards that
+// applied at least one message — a shard that received no traffic has no
+// slack sample and must not drag the minimum to its zero-initialized
+// counter; TestMailboxAuditContract pins both shapes.
 func (s *Simulation) MailboxAudit() (applied uint64, minSlack simtime.Tick, ok bool) {
 	if s.sh == nil {
 		return 0, 0, false

@@ -79,6 +79,12 @@ type LoopFlags struct {
 	// isolating what spending the WAN lookahead buys (compare
 	// Result.Stats.Barriers / WindowsStretched).
 	NoStretch bool
+	// NoCrossStretch keeps window stretching for shard-local traffic but
+	// refuses to form spans while any cross-capable flow is live (the PR 8
+	// behavior). The A/B switch isolating what mid-span mailbox delivery
+	// buys on cross-DC-heavy phases (compare Result.Stats.MailboxApplied
+	// and the peak-hour WindowsStretched row in BENCH_lookahead.json).
+	NoCrossStretch bool
 	// NoFaults skips fault-controller attachment entirely, turning any
 	// chaos scenario back into its healthy baseline — bit-identical to a
 	// run that never declared faults.
@@ -453,17 +459,18 @@ func (e *Experiment) Compile() (*Run, error) {
 		eng = e.engine()
 	}
 	sim := core.NewSimulation(core.Config{
-		Step:          e.step,
-		CollectEvery:  int(math.Round(e.collectSeconds / e.step)),
-		Seed:          e.seed,
-		Engine:        eng,
-		NoFastForward: e.flags.NoFastForward,
-		NoCalendar:    e.flags.NoCalendar,
-		NoBulkDense:   e.flags.NoBulkDense,
-		NoThinning:    e.flags.NoThinning,
-		NoShards:      e.flags.NoShards,
-		NoStretch:     e.flags.NoStretch,
-		NoFaults:      e.flags.NoFaults,
+		Step:           e.step,
+		CollectEvery:   int(math.Round(e.collectSeconds / e.step)),
+		Seed:           e.seed,
+		Engine:         eng,
+		NoFastForward:  e.flags.NoFastForward,
+		NoCalendar:     e.flags.NoCalendar,
+		NoBulkDense:    e.flags.NoBulkDense,
+		NoThinning:     e.flags.NoThinning,
+		NoShards:       e.flags.NoShards,
+		NoStretch:      e.flags.NoStretch,
+		NoCrossStretch: e.flags.NoCrossStretch,
+		NoFaults:       e.flags.NoFaults,
 	})
 	inf, err := topology.Build(sim, *e.infra)
 	if err != nil {
@@ -486,6 +493,12 @@ func (e *Experiment) Compile() (*Run, error) {
 		// windows: lane-confined flows and sources resolve their owning
 		// shard through it (core.SetDCShards documents the contract).
 		sim.SetDCShards(plan.DCShard)
+		// The per-shard inbound lookahead turns cross-capable traffic from
+		// a span blocker into a span bound: spans may run lookTicks past
+		// now even while WAN transfers are in flight, with cross-shard
+		// arrivals carried by due-stamped mailboxes (core.SetShardLookahead
+		// documents the safety argument).
+		sim.SetShardLookahead(plan.LookaheadSec)
 	}
 
 	r := &Run{

@@ -75,6 +75,12 @@ func NewCPU(sim *core.Simulation, name string, spec CPUSpec) *CPU {
 // Spec returns the processor specification.
 func (c *CPU) Spec() CPUSpec { return c.spec }
 
+// Rate returns the current per-core service rate in cycles/second
+// (reflecting any Derate). It is the capability the span scheduler's
+// chain-completion guard keys on: a task's service on any core takes at
+// least Demand/Rate seconds.
+func (c *CPU) Rate() float64 { return c.sockets[0].Rate() }
+
 // Derate scales every core's service rate to factor times the healthy rate
 // (a browned-out data center running on reduced power). The factor is
 // absolute against the spec rate, not cumulative; factor 1 restores full

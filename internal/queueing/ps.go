@@ -19,6 +19,7 @@ type PS struct {
 
 	waiting   fifo
 	inService []*Task
+	offs      []float64 // Step scratch: per-slot expiry offsets
 
 	work     float64 // accumulated transmitted units (for utilization)
 	arrivals uint64
@@ -229,15 +230,42 @@ func (q *PS) BulkStep(n int, dt float64) {
 }
 
 // Step advances the queue by dt seconds resolving completions exactly.
-// Bandwidth is shared among all tasks holding a slot whose latency phase has
-// elapsed; tasks still in the latency phase only count down their delay.
+// Bandwidth is shared among all tasks holding a slot whose latency phase
+// has elapsed; tasks still in the latency phase only count down their
+// delay. A latency countdown decrements exactly once per Step, by the full
+// dt — the same per-tick arithmetic BulkStep replays in bulk — so a
+// countdown's float trajectory depends only on the whole ticks elapsed
+// since its enqueue, never on how other tasks' completions sub-split a
+// step. That invariant is what lets the sharded runtime enqueue a
+// cross-shard transfer whole ticks after its posting instant and
+// reconstruct the countdown bit-exactly (ReplayLatency). The pre-decrement
+// delay doubles as each task's expiry offset inside this step: a task
+// starts transferring once the resolved sub-steps cover its offset. A task
+// promoted out of the waiting line mid-step (a slot freed under
+// contention) starts its countdown at the next step.
 func (q *PS) Step(dt float64, done DoneFunc) {
 	q.fill()
+	if len(q.inService) == 0 {
+		return
+	}
+	offs := q.offs[:0]
+	for _, t := range q.inService {
+		off := 0.0
+		if t.Delay > eps {
+			off = t.Delay
+			t.Delay -= dt
+			if t.Delay < eps {
+				t.Delay = 0
+			}
+		}
+		offs = append(offs, off)
+	}
+	elapsed := 0.0
 	remaining := dt
 	for remaining > eps && len(q.inService) > 0 {
 		transferring := 0
-		for _, t := range q.inService {
-			if t.Delay <= eps {
+		for i := range q.inService {
+			if offs[i] <= elapsed+eps {
 				transferring++
 			}
 		}
@@ -246,12 +274,14 @@ func (q *PS) Step(dt float64, done DoneFunc) {
 			share = q.rate / float64(transferring)
 		}
 		// Next event: earliest latency expiry or transfer completion,
-		// capped by the remaining step.
+		// capped by the remaining step. An unexpired offset exceeds
+		// elapsed by more than eps, so every boundary sub-step is a real
+		// advance and the loop terminates.
 		sub := remaining
-		for _, t := range q.inService {
-			if t.Delay > eps {
-				if t.Delay < sub {
-					sub = t.Delay
+		for i, t := range q.inService {
+			if off := offs[i]; off > elapsed+eps {
+				if b := off - elapsed; b < sub {
+					sub = b
 				}
 			} else if share > 0 {
 				if ttc := t.Demand / share; ttc < sub {
@@ -263,13 +293,11 @@ func (q *PS) Step(dt float64, done DoneFunc) {
 			sub = 0
 		}
 		kept := q.inService[:0]
-		for _, t := range q.inService {
-			if t.Delay > eps {
-				t.Delay -= sub
-				if t.Delay < eps {
-					t.Delay = 0
-				}
+		keptOffs := offs[:0]
+		for i, t := range q.inService {
+			if offs[i] > elapsed+eps {
 				kept = append(kept, t)
+				keptOffs = append(keptOffs, offs[i])
 				continue
 			}
 			consumed := sub * share
@@ -281,18 +309,42 @@ func (q *PS) Step(dt float64, done DoneFunc) {
 				done(t)
 			} else {
 				kept = append(kept, t)
+				keptOffs = append(keptOffs, offs[i])
 			}
 		}
 		for i := len(kept); i < len(q.inService); i++ {
 			q.inService[i] = nil
 		}
 		q.inService = kept
+		offs = keptOffs
+		promoted := len(q.inService)
 		q.fill()
+		for i := promoted; i < len(q.inService); i++ {
+			offs = append(offs, math.Inf(1))
+		}
+		elapsed += sub
 		remaining -= sub
-		if sub == 0 {
-			// Zero-demand transfers completed without consuming time;
-			// iterate again to make progress on the rest.
-			continue
+	}
+	q.offs = offs
+}
+
+// ReplayLatency reconstructs the latency countdown of a task that was
+// enqueued n whole steps of dt seconds ago: the once-per-Step
+// decrement-and-clamp arithmetic Step applies to an in-service task (and
+// BulkStep replays per tick — the clamp cannot fire inside a bulk window,
+// so the two histories agree), evaluated n times from the latency lat the
+// task snapshotted at its original enqueue instant. A deferred enqueue can
+// therefore be applied whole ticks late and land bit-identically on the
+// state the inline enqueue would have reached, provided the task would
+// have held a connection slot throughout — the caller checks the slot was
+// free and the countdown has not expired (n strictly inside the latency).
+func ReplayLatency(lat float64, n int, dt float64) float64 {
+	d := lat
+	for ; n > 0; n-- {
+		d -= dt
+		if d < eps {
+			d = 0
 		}
 	}
+	return d
 }

@@ -44,12 +44,16 @@ type CaseConfig struct {
 	// runtime — the A/B baseline BenchmarkShardScaling measures against.
 	// NoStretch keeps the sharded runtime but pins a global barrier on
 	// every window — the A/B baseline for Chandy-Misra window stretching.
-	NoFastForward bool
-	NoCalendar    bool
-	NoBulkDense   bool
-	NoThinning    bool
-	NoShards      bool
-	NoStretch     bool
+	// NoCrossStretch keeps stretching but blocks spans while cross-DC
+	// traffic is live (the pre-mailbox behavior) — the A/B baseline for
+	// mid-span mailbox delivery.
+	NoFastForward  bool
+	NoCalendar     bool
+	NoBulkDense    bool
+	NoThinning     bool
+	NoShards       bool
+	NoStretch      bool
+	NoCrossStretch bool
 }
 
 // defaults fills the scenario-specific zero values. The shared defaults
@@ -71,12 +75,13 @@ func (c *CaseConfig) defaults() error {
 // loopFlags folds the A/B switches into the experiment form.
 func (c *CaseConfig) loopFlags() experiment.LoopFlags {
 	return experiment.LoopFlags{
-		NoFastForward: c.NoFastForward,
-		NoCalendar:    c.NoCalendar,
-		NoBulkDense:   c.NoBulkDense,
-		NoThinning:    c.NoThinning,
-		NoShards:      c.NoShards,
-		NoStretch:     c.NoStretch,
+		NoFastForward:  c.NoFastForward,
+		NoCalendar:     c.NoCalendar,
+		NoBulkDense:    c.NoBulkDense,
+		NoThinning:     c.NoThinning,
+		NoShards:       c.NoShards,
+		NoStretch:      c.NoStretch,
+		NoCrossStretch: c.NoCrossStretch,
 	}
 }
 

@@ -36,12 +36,13 @@ type DayNightConfig struct {
 	// [9, 17).
 	BizStart, BizEnd int
 	// Loop A/B switches, see CaseConfig.
-	NoFastForward bool
-	NoCalendar    bool
-	NoBulkDense   bool
-	NoThinning    bool
-	NoShards      bool
-	NoStretch     bool
+	NoFastForward  bool
+	NoCalendar     bool
+	NoBulkDense    bool
+	NoThinning     bool
+	NoShards       bool
+	NoStretch      bool
+	NoCrossStretch bool
 }
 
 // defaults fills the scenario-specific zero values; the shared defaults
@@ -98,12 +99,13 @@ func RunDayNight(cfg DayNightConfig) (*DayNightResult, error) {
 		experiment.WithEngineInstance(cfg.Engine),
 		experiment.WithDuration(cfg.Hours * 3600),
 		experiment.WithLoopFlags(experiment.LoopFlags{
-			NoFastForward: cfg.NoFastForward,
-			NoCalendar:    cfg.NoCalendar,
-			NoBulkDense:   cfg.NoBulkDense,
-			NoThinning:    cfg.NoThinning,
-			NoShards:      cfg.NoShards,
-			NoStretch:     cfg.NoStretch,
+			NoFastForward:  cfg.NoFastForward,
+			NoCalendar:     cfg.NoCalendar,
+			NoBulkDense:    cfg.NoBulkDense,
+			NoThinning:     cfg.NoThinning,
+			NoShards:       cfg.NoShards,
+			NoStretch:      cfg.NoStretch,
+			NoCrossStretch: cfg.NoCrossStretch,
 		}),
 		experiment.WithAccessMatrix(workload.SingleMaster([]string{"NA"}, "NA")),
 		experiment.WithWorkload(experiment.Workload{

@@ -1,6 +1,7 @@
 package scenarios
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -68,19 +69,31 @@ func TestStretchBarrierDrop(t *testing.T) {
 // committed safe horizon. The apply path panics on a violation, so the
 // test's job is to prove the property was actually exercised — the
 // consolidation platform pushes thousands of cross-DC cascade hops through
-// the mailboxes — and that the observed slack never went negative.
+// the mailboxes, and with the per-shard lookahead installed a share of them
+// lands mid-span through the shard inboxes (WindowsStretched > 0 despite
+// live cross-DC traffic) — and that the observed slack never went negative.
+// Every shard count must reproduce the sequential and NoCrossStretch
+// digests bit for bit: mid-span delivery is a scheduling change, never a
+// results change.
 func TestMailboxDueTimeSafety(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mailbox safety property skipped in -short")
 	}
-	cs, err := NewConsolidation(CaseConfig{
-		Step: 0.01, Seed: 7, Scale: 0.1, StartHour: 3, EndHour: 4,
-		Engine: dispatch.NewSharded(4),
-	})
-	if err != nil {
-		t.Fatal(err)
+	run := func(eng core.Engine, noCross bool) *CaseStudy {
+		t.Helper()
+		cs, err := NewConsolidation(CaseConfig{
+			Step: 0.01, Seed: 7, Scale: 0.1, StartHour: 3, EndHour: 4,
+			Engine: eng, NoCrossStretch: noCross,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs.Run()
+		return cs
 	}
-	cs.Run()
+	ref := run(&core.SequentialEngine{}, false).Result.Digest()
+
+	cs := run(dispatch.NewSharded(4), false)
 	applied, minSlack, ok := cs.Sim.MailboxAudit()
 	if !ok {
 		t.Fatal("no cross-shard mailbox traffic; the property was never exercised")
@@ -91,7 +104,98 @@ func TestMailboxDueTimeSafety(t *testing.T) {
 	if minSlack < 0 {
 		t.Errorf("a mailbox message was applied %d ticks before its receiver's safe horizon", -minSlack)
 	}
-	t.Logf("mailbox audit: %d messages applied, minimum slack %d ticks", applied, minSlack)
+	if st := cs.Result.Stats; st.WindowsStretched == 0 {
+		t.Error("no window stretched under live cross-DC traffic; mid-span delivery never engaged")
+	} else if st.MailboxApplied != applied || st.MailboxMinSlack != int64(minSlack) {
+		t.Errorf("RunStats mailbox mirror (%d, %d) diverged from MailboxAudit (%d, %d)",
+			st.MailboxApplied, st.MailboxMinSlack, applied, minSlack)
+	}
+	t.Logf("mailbox audit: %d messages applied, minimum slack %d ticks, %d windows stretched",
+		applied, minSlack, cs.Result.Stats.WindowsStretched)
+
+	for _, n := range shardCounts {
+		t.Run(fmt.Sprintf("digest-sharded-%d", n), func(t *testing.T) {
+			if got := run(dispatch.NewSharded(n), false).Result.Digest(); got != ref {
+				t.Errorf("mid-span delivery diverged from sequential loop:\n%s\n%s", ref, got)
+			}
+		})
+	}
+	t.Run("digest-sharded-4-nocross", func(t *testing.T) {
+		cs := run(dispatch.NewSharded(4), true)
+		if got := cs.Result.Digest(); got != ref {
+			t.Errorf("NoCrossStretch digest diverged from sequential loop:\n%s\n%s", ref, got)
+		}
+	})
+}
+
+// TestMailboxAuditContract pins the exact shape of Simulation.MailboxAudit
+// across the engine matrix: (0, 0, false) whenever the sharded runtime is
+// off — sequential engines and NoShards runs — and (applied > 0,
+// minSlack >= 0, true) whenever it is on and traffic crossed shards,
+// with or without window stretching. A shard that received no traffic must
+// never drag the minimum to its zero-initialized counter.
+func TestMailboxAuditContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mailbox audit contract skipped in -short")
+	}
+	run := func(eng core.Engine, noShards, noStretch bool) *CaseStudy {
+		t.Helper()
+		cs, err := NewConsolidation(CaseConfig{
+			Step: 0.01, Seed: 7, Scale: 0.1, StartHour: 3, EndHour: 4,
+			Engine: eng, NoShards: noShards, NoStretch: noStretch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs.Run()
+		return cs
+	}
+	for _, tc := range []struct {
+		name     string
+		eng      core.Engine
+		noShards bool
+		wantOK   bool
+	}{
+		{"sequential", &core.SequentialEngine{}, false, false},
+		{"noshards", dispatch.NewSharded(4), true, false},
+		{"stretched", dispatch.NewSharded(4), false, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cs := run(tc.eng, tc.noShards, false)
+			applied, minSlack, ok := cs.Sim.MailboxAudit()
+			if ok != tc.wantOK {
+				t.Fatalf("MailboxAudit ok = %v, want %v", ok, tc.wantOK)
+			}
+			if !ok {
+				if applied != 0 || minSlack != 0 {
+					t.Errorf("off shape = (%d, %d, false), want (0, 0, false)", applied, minSlack)
+				}
+				if st := cs.Result.Stats; st.MailboxApplied != 0 || st.MailboxMinSlack != 0 {
+					t.Errorf("RunStats mailbox fields (%d, %d) nonzero with audit off",
+						st.MailboxApplied, st.MailboxMinSlack)
+				}
+				return
+			}
+			if applied == 0 {
+				t.Error("ok=true with zero applied messages")
+			}
+			if minSlack < 0 {
+				t.Errorf("minimum slack %d ticks is negative", minSlack)
+			}
+		})
+	}
+	// NoStretch: every cross-shard hand-off still flows through the
+	// barrier-drain mailboxes, applied at its posting tick — audit on.
+	t.Run("nostretch", func(t *testing.T) {
+		cs := run(dispatch.NewSharded(4), false, true)
+		applied, minSlack, ok := cs.Sim.MailboxAudit()
+		if !ok || applied == 0 {
+			t.Fatalf("NoStretch audit = (%d, %d, %v), want applied traffic", applied, minSlack, ok)
+		}
+		if minSlack < 0 {
+			t.Errorf("minimum slack %d ticks is negative", minSlack)
+		}
+	})
 }
 
 // TestChaosStretchBarriers pins the fault-schedule contract under window
@@ -99,7 +203,10 @@ func TestMailboxDueTimeSafety(t *testing.T) {
 // transition tick bounds every span and forces a global barrier exactly on
 // schedule — injections and recoveries land at their configured instants,
 // never absorbed into a stretched span, and the faulted run stays
-// bit-identical to its NoStretch twin.
+// bit-identical to its NoStretch twin. The chaos workload's cascades run
+// cross-DC (EU clients against the NA master), so any stretching here is
+// cross-flow stretching: spans form inside the WAN lookahead while global
+// tokens are in flight, and the fault ticks still barrier exactly.
 func TestChaosStretchBarriers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos stretch leg skipped in -short")
@@ -126,6 +233,15 @@ func TestChaosStretchBarriers(t *testing.T) {
 	off := run(mkEngine, experiment.WithLoopFlags(experiment.LoopFlags{NoStretch: true}))
 	if a, b := on.Digest(), off.Digest(); a != b {
 		t.Errorf("faulted run diverged between stretch and NoStretch:\n%s\n%s", a, b)
+	}
+	if on.Stats.WindowsStretched == 0 {
+		t.Error("no window stretched under the cross-DC chaos workload; the cross-flow leg pins nothing")
+	}
+	if on.Stats.MailboxApplied > 0 && on.Stats.MailboxMinSlack < 0 {
+		t.Errorf("faulted run applied a mailbox message %d ticks past its due instant", -on.Stats.MailboxMinSlack)
+	}
+	if off.Stats.WindowsStretched != 0 {
+		t.Errorf("NoStretch run stretched %d windows, want 0", off.Stats.WindowsStretched)
 	}
 }
 

@@ -81,11 +81,14 @@ type ValidationConfig struct {
 	// NoShards disables the sharded runtime of a sharded Engine (A/B).
 	// NoStretch keeps the sharded runtime but pins a global barrier on
 	// every window — the A/B baseline for Chandy-Misra window stretching.
-	NoFastForward bool
-	NoCalendar    bool
-	NoBulkDense   bool
-	NoShards      bool
-	NoStretch     bool
+	// NoCrossStretch keeps stretching but blocks spans while cross-DC
+	// traffic is live — the A/B baseline for mid-span mailbox delivery.
+	NoFastForward  bool
+	NoCalendar     bool
+	NoBulkDense    bool
+	NoShards       bool
+	NoStretch      bool
+	NoCrossStretch bool
 }
 
 func (c *ValidationConfig) defaults() error {
@@ -114,11 +117,12 @@ func (c *ValidationConfig) defaults() error {
 // translation shared by every legacy config adapter.
 func (c *ValidationConfig) loopFlags() experiment.LoopFlags {
 	return experiment.LoopFlags{
-		NoFastForward: c.NoFastForward,
-		NoCalendar:    c.NoCalendar,
-		NoBulkDense:   c.NoBulkDense,
-		NoShards:      c.NoShards,
-		NoStretch:     c.NoStretch,
+		NoFastForward:  c.NoFastForward,
+		NoCalendar:     c.NoCalendar,
+		NoBulkDense:    c.NoBulkDense,
+		NoShards:       c.NoShards,
+		NoStretch:      c.NoStretch,
+		NoCrossStretch: c.NoCrossStretch,
 	}
 }
 

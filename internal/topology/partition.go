@@ -34,17 +34,20 @@ type ShardPlan struct {
 	// backup) entering the shard from another shard. No event generated
 	// on a remote shard can affect shard w sooner than this bound after
 	// crossing the WAN — the classic distance-based PDES window. +Inf
-	// when nothing enters the shard. The runtime spends this slack
-	// structurally rather than numerically: shard-local cascades never
-	// cross shards at all, so whenever every in-flight flow is
-	// shard-confined (core tracks the cross-flow count) the loop
-	// stretches windows into spans bounded only by global-source due
-	// times and collector boundaries, and every cross-shard mailbox
-	// message carries its WAN-delayed due time, audited against the
-	// receiver's committed safe horizon (see DESIGN.md, "Lookahead and
-	// window stretching"). The per-shard bound itself remains a
-	// diagnostic: it quantifies how much slack a latency-based scheme
-	// could claim when cross-DC flows are live.
+	// when nothing enters the shard. The runtime spends this slack two
+	// ways. Structurally: shard-local cascades never cross shards at all,
+	// so spans among lane-confined work are bounded only by global-source
+	// due times and collector boundaries. Numerically: the compile step
+	// hands this slice to core.SetShardLookahead, and while cross-capable
+	// message chains are in flight the span scheduler stretches windows
+	// up to min over finite entries of TicksIn(LookaheadSec[w]) past the
+	// current tick — any mid-span cross-shard hand-off rides a transit
+	// link whose latency covers at least that many ticks, so the posted
+	// message is provably due beyond the span's end and parks in the
+	// target shard's inbox until the next application point. Every
+	// cross-shard mailbox message carries its WAN-delayed due time,
+	// audited at application (see DESIGN.md, "Lookahead and window
+	// stretching").
 	LookaheadSec []float64
 }
 
