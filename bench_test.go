@@ -613,6 +613,52 @@ func BenchmarkDayNightClients(b *testing.B) {
 	b.Run("pr2-loop", func(b *testing.B) { run(b, true, true) })
 }
 
+// BenchmarkFluidDayNight is the fluid tier's headline: the 24 h day-night
+// scenario at 10 million peak users, carried entirely by the analytic
+// aggregation (RunDayNightFluid — zero discrete client launches), against
+// the 60-user discrete reference the calendar-thinned loop runs
+// (BenchmarkDayNightClients/calendar-thinned, repeated here as the
+// "discrete-60" leg so both legs land in one table row pair). The
+// acceptance envelope is wall-clock: fluid-10M must finish within 2x the
+// discrete 60-user run despite simulating five orders of magnitude more
+// client traffic. The analytic-ops metric is the integral of the offered
+// curve (~191M operations/day); the discrete leg reports the ops it
+// actually completed.
+func BenchmarkFluidDayNight(b *testing.B) {
+	b.Run("fluid-10M", func(b *testing.B) {
+		b.ReportAllocs()
+		var res *scenarios.DayNightResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = scenarios.RunDayNightFluid(scenarios.DayNightConfig{Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.CompletedOps != 0 {
+				b.Fatalf("fluid run launched %d discrete operations", res.CompletedOps)
+			}
+		}
+		ops := res.Result.Series["fluid:CAD:NA:ops"]
+		if ops == nil || ops.Len() == 0 {
+			b.Fatal("fluid run recorded no analytic volume")
+		}
+		b.ReportMetric(ops.V[ops.Len()-1], "analytic-ops")
+		b.ReportMetric(float64(res.Config.PeakUsers), "peak-users")
+	})
+	b.Run("discrete-60", func(b *testing.B) {
+		b.ReportAllocs()
+		var res *scenarios.DayNightResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = scenarios.RunDayNight(scenarios.DayNightConfig{Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.CompletedOps), "ops")
+	})
+}
+
 // Microbenchmarks of the queueing substrate.
 
 func BenchmarkFCFSQueueStep(b *testing.B) {

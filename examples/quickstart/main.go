@@ -109,7 +109,19 @@ func main() {
 	}
 	fmt.Printf("isolated REPORT duration: %.3f s\n", isolated)
 
-	// Drive it with 300 users averaging 30 operations per hour each.
+	// Drive it with 300 users averaging 30 operations per hour each. At
+	// this scale every operation is launched discretely — the right
+	// fidelity for watching individual response times. At web scale (say
+	// 10M users, thousands of expected arrivals per tick) launch the
+	// declarative way instead (gdisim.NewExperiment + WithWorkload) and add
+	// gdisim.WithFluid("WEB", "NA", gdisim.FluidConfig{Above: 1}): dense
+	// stretches are then aggregated analytically at a per-segment cost
+	// independent of the user count, falling back to discrete sampling
+	// near saturation and during fault windows. The fluid tier pays off
+	// when expected arrivals per tick stay well above one for real
+	// stretches of the run; below that, thinning and calendar jumps
+	// already make the discrete loop cheap. See DESIGN.md, "Fluid
+	// workload tier".
 	users := gdisim.BusinessDay(300, 0, 24, 300) // constant population
 	sim.AddSource(&gdisim.AppWorkload{
 		App: "WEB", DC: "NA",

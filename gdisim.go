@@ -108,6 +108,9 @@ type (
 	SweepVariant = experiment.Variant
 	// SweepColumn is one metric column of the sweep CSV export.
 	SweepColumn = experiment.Column
+	// FluidConfig parameterizes the fluid workload tier for one workload
+	// (see WithFluid and DESIGN.md, "Fluid workload tier").
+	FluidConfig = experiment.Fluid
 	// RunStats is the run-counter snapshot carried by every Result.
 	RunStats = core.RunStats
 )
@@ -151,6 +154,13 @@ var (
 	WithProbes       = experiment.WithProbes
 	WithSetup        = experiment.WithSetup
 	WithFault        = experiment.WithFault
+	// WithFluid enables the hybrid analytic/discrete aggregation tier for
+	// one already-declared workload: above FluidConfig.Above expected
+	// arrivals per tick the workload is carried analytically through the
+	// M/M/c machinery (with matching capacity reservations on the shared
+	// tiers), falling back to discrete sampling near saturation and inside
+	// fault windows. See DESIGN.md, "Fluid workload tier".
+	WithFluid = experiment.WithFluid
 )
 
 // Fault injection: phased chaos scenarios (stabilize -> inject -> recover)

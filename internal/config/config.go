@@ -71,6 +71,25 @@ type WorkloadSpec struct {
 	// app@dc. Two workloads sharing app and dc must declare distinct
 	// non-zero streams.
 	Stream uint64 `json:"stream,omitempty"`
+	// ThinBelow overrides the expected-arrivals-per-tick threshold below
+	// which arrivals are gap-sampled instead of drawn per tick; 0 selects
+	// the default (workload.DefaultThinBelow), negative disables thinning
+	// for this workload. Mirrors experiment.Workload.ThinBelow so the
+	// thin/discrete/fluid threshold story is identical on both surfaces.
+	ThinBelow float64 `json:"thinBelow,omitempty"`
+	// Fluid engages the analytic client-aggregation tier (internal/fluid)
+	// above the given expected-arrivals-per-tick threshold.
+	Fluid *FluidSpec `json:"fluid,omitempty"`
+}
+
+// FluidSpec is the JSON form of a workload's fluid-tier configuration.
+type FluidSpec struct {
+	// Above is the expected-arrivals-per-tick threshold at or above which
+	// the workload is aggregated analytically — the high-rate mirror of
+	// thinBelow. Must be positive.
+	Above float64 `json:"above"`
+	// RhoMax is the saturation guard in (0, 1); 0 selects the default 0.9.
+	RhoMax float64 `json:"rhoMax,omitempty"`
 }
 
 // DaemonsSpec is the JSON form of the background-daemon declaration.
@@ -181,6 +200,14 @@ func (d *Document) Validate() error {
 		}
 		if w.OpsPerUserHour <= 0 {
 			return fmt.Errorf("config: workload %s/%s needs a positive rate", w.App, w.DC)
+		}
+		if f := w.Fluid; f != nil {
+			if f.Above <= 0 {
+				return fmt.Errorf("config: workload %s/%s: fluid threshold above must be positive", w.App, w.DC)
+			}
+			if f.RhoMax < 0 || f.RhoMax >= 1 {
+				return fmt.Errorf("config: workload %s/%s: fluid guard rhoMax %v outside [0, 1)", w.App, w.DC, f.RhoMax)
+			}
 		}
 	}
 	if d.Step < 0 {

@@ -41,6 +41,8 @@ func sampleDoc() *Document {
 			App: "CAD", DC: "NA",
 			Users:          workload.BusinessDay(100, 13, 22, 5),
 			OpsPerUserHour: 4,
+			ThinBelow:      0.2,
+			Fluid:          &FluidSpec{Above: 0.8, RhoMax: 0.85},
 		}},
 		AccessMatrix: workload.SingleMaster([]string{"NA"}, "NA"),
 	}
@@ -65,6 +67,12 @@ func TestRoundTrip(t *testing.T) {
 	if back.Workloads[0].Users.Peak() != 100 {
 		t.Errorf("workload curve peak = %v", back.Workloads[0].Users.Peak())
 	}
+	if back.Workloads[0].ThinBelow != 0.2 {
+		t.Errorf("thinBelow = %v, want 0.2", back.Workloads[0].ThinBelow)
+	}
+	if f := back.Workloads[0].Fluid; f == nil || f.Above != 0.8 || f.RhoMax != 0.85 {
+		t.Errorf("fluid spec did not round-trip: %+v", f)
+	}
 }
 
 func TestDecodeRejectsUnknownFields(t *testing.T) {
@@ -81,6 +89,9 @@ func TestValidateRejectsBadDocuments(t *testing.T) {
 		func(d *Document) { d.Workloads[0].App = "" },
 		func(d *Document) { d.Workloads[0].OpsPerUserHour = 0 },
 		func(d *Document) { d.AccessMatrix = workload.AccessMatrix{"NA": {"NA": 0.5}} },
+		func(d *Document) { d.Workloads[0].Fluid = &FluidSpec{Above: 0} },
+		func(d *Document) { d.Workloads[0].Fluid = &FluidSpec{Above: 0.01, RhoMax: 1} },
+		func(d *Document) { d.Workloads[0].Fluid = &FluidSpec{Above: 0.01, RhoMax: -0.5} },
 	}
 	for i, mutate := range cases {
 		doc := sampleDoc()

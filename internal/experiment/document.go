@@ -77,7 +77,11 @@ func FromDocument(d *config.Document) (*Experiment, error) {
 			OpsPerUserHour: w.OpsPerUserHour,
 			Weights:        w.Weights,
 			Stream:         w.Stream,
+			ThinBelow:      w.ThinBelow,
 			Gauges:         true,
+		}
+		if w.Fluid != nil {
+			ew.Fluid = Fluid{Above: w.Fluid.Above, RhoMax: w.Fluid.RhoMax}
 		}
 		name := w.Ops
 		if name == "" {

@@ -89,6 +89,12 @@ type LoopFlags struct {
 	// chaos scenario back into its healthy baseline — bit-identical to a
 	// run that never declared faults.
 	NoFaults bool
+	// NoFluid ignores every workload's Fluid configuration, restoring the
+	// all-discrete path. Like NoFaults it works by structural elision — no
+	// flow wrapper, no crossover controller, no analytic probes — so a
+	// NoFluid run is bit-identical to one that never configured the fluid
+	// tier.
+	NoFluid bool
 }
 
 // Workload declares one application workload at one data center, driven by
@@ -115,6 +121,11 @@ type Workload struct {
 	Gauges bool
 	// ThinBelow passes through to workload.AppWorkload.
 	ThinBelow float64
+	// Fluid engages the analytic client-aggregation tier (internal/fluid)
+	// when Above is positive; the high-rate mirror of ThinBelow. Set it
+	// directly or through WithFluid / the document "fluid" field / the
+	// sweep axis "workloads.<app>.<dc>.fluid".
+	Fluid Fluid
 	// Stream passes through to workload.AppWorkload.Stream: the RNG stream
 	// identity, defaulting to a hash of App@DC. Two workloads sharing App
 	// and DC must set distinct non-zero Streams, or their arrival draws
@@ -362,6 +373,7 @@ func (e *Experiment) validate() error {
 		stream  uint64
 	}
 	seen := map[wlIdentity]bool{}
+	fluidSeen := map[wlIdentity]bool{}
 	for i, w := range e.workloads {
 		if w.App == "" || w.DC == "" {
 			return fmt.Errorf("workload %d needs app and dc names", i)
@@ -385,6 +397,22 @@ func (e *Experiment) validate() error {
 		}
 		if w.APM == nil && e.apm == nil {
 			return fmt.Errorf("workload %s@%s needs an access matrix (WithAccessMatrix or Workload.APM)", w.App, w.DC)
+		}
+		if w.Fluid.Above < 0 {
+			return fmt.Errorf("workload %s@%s: fluid threshold Above must not be negative", w.App, w.DC)
+		}
+		if w.Fluid.RhoMax < 0 || w.Fluid.RhoMax >= 1 {
+			return fmt.Errorf("workload %s@%s: fluid guard RhoMax %v outside [0, 1)", w.App, w.DC, w.Fluid.RhoMax)
+		}
+		if w.Fluid.Above > 0 {
+			// The analytic probe keys are derived from App@DC alone, so two
+			// fluid-configured workloads sharing that identity would collide
+			// in the collector.
+			fid := wlIdentity{app: w.App, dc: w.DC}
+			if fluidSeen[fid] {
+				return fmt.Errorf("two fluid-configured workloads %s@%s: only one per app@dc may engage the fluid tier", w.App, w.DC)
+			}
+			fluidSeen[fid] = true
 		}
 	}
 	if e.daemons != nil {
@@ -594,7 +622,15 @@ func (e *Experiment) attachWorkloads(r *Run) error {
 		// scheduler may then poll them inside their DC's shard lane
 		// instead of barriering at each of their due ticks. Everything
 		// else — cross-DC matrices in particular — stays a global source.
-		if src.LaneSafe() {
+		// Fluid-configured workloads register through the fluid tier
+		// instead, which wraps the same source in the precomputed mode
+		// schedule; under NoFluid the wrapper is structurally elided, so
+		// the run is bit-identical to one that never configured fluid.
+		if w.Fluid.Above > 0 && !e.flags.NoFluid {
+			if err := e.attachFluid(r, w, src, ops); err != nil {
+				return err
+			}
+		} else if src.LaneSafe() {
 			src.InitSource(r.Sim)
 			r.Sim.AddLaneSource(src, src.DC)
 		} else {

@@ -213,6 +213,43 @@ func TestExperimentRejectsBadAssembly(t *testing.T) {
 	}
 }
 
+// TestWithFluidValidation pins the fluid assembly errors: the option
+// demands a declared workload and sane parameters, and compilation rejects
+// two fluid-configured workloads sharing an app@dc identity (their analytic
+// series keys would collide).
+func TestWithFluidValidation(t *testing.T) {
+	if _, err := New("undeclared", testOptions(
+		WithFluid("CAD", "NA", Fluid{Above: 0.01}),
+	)...); err == nil || !strings.Contains(err.Error(), "no workload CAD@NA") {
+		t.Errorf("fluid on an undeclared workload: %v", err)
+	}
+	if _, err := New("zero", testOptions(
+		WithFluid("PDM", "NA", Fluid{}),
+	)...); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Errorf("zero threshold: %v", err)
+	}
+	if _, err := New("guard", testOptions(
+		WithFluid("PDM", "NA", Fluid{Above: 0.01, RhoMax: 1}),
+	)...); err == nil || !strings.Contains(err.Error(), "RhoMax") {
+		t.Errorf("unit guard: %v", err)
+	}
+	// Twin workloads (distinct streams) are legal — but engaging the fluid
+	// tier on both collides on the app@dc-keyed analytic series.
+	_, err := New("twins", testOptions(
+		WithWorkload(Workload{
+			App: "PDM", DC: "NA", OpsPerUserHour: 5,
+			Users:  workload.BusinessDay(10, 0, 24, 10),
+			OpsFn:  mustOps("PDM", "NA"),
+			OpsKey: "PDM",
+			Stream: 99,
+		}),
+		WithFluid("PDM", "NA", Fluid{Above: 0.01}),
+	)...)
+	if err == nil || !strings.Contains(err.Error(), "fluid") {
+		t.Errorf("two fluid twins accepted: %v", err)
+	}
+}
+
 // TestDocumentRoundTrip is the one-surface guarantee: a JSON scenario
 // document compiles to the same Result as the equivalent Go-built
 // experiment — byte for byte, via the result digest.
@@ -229,6 +266,16 @@ func TestDocumentRoundTrip(t *testing.T) {
 			App: "PDM", DC: "NA",
 			Users:          workload.BusinessDay(40, 0, 24, 40),
 			OpsPerUserHour: 30,
+			ThinBelow:      0.9,
+		}, {
+			// A second, analytically aggregated population: 3.3e-3 expected
+			// arrivals per tick clears the 1e-3 threshold, so this workload
+			// runs fluid for the whole window — the document mapping of the
+			// fluid block is pinned by the analytic series in the digest.
+			App: "PDMF", DC: "NA", Ops: "PDM",
+			Users:          workload.BusinessDay(40, 0, 24, 40),
+			OpsPerUserHour: 30,
+			Fluid:          &config.FluidSpec{Above: 1e-3, RhoMax: 0.8},
 		}},
 	}
 
@@ -259,6 +306,17 @@ func TestDocumentRoundTrip(t *testing.T) {
 			App: "PDM", DC: "NA",
 			Users:          workload.BusinessDay(40, 0, 24, 40),
 			OpsPerUserHour: 30,
+			ThinBelow:      0.9,
+			OpsFn:          mustOps("PDM", "NA"),
+			OpsKey:         "PDM@NA",
+			APM:            workload.SingleMaster([]string{"NA"}, "NA"),
+			Gauges:         true,
+		}),
+		WithWorkload(Workload{
+			App: "PDMF", DC: "NA",
+			Users:          workload.BusinessDay(40, 0, 24, 40),
+			OpsPerUserHour: 30,
+			Fluid:          Fluid{Above: 1e-3, RhoMax: 0.8},
 			OpsFn:          mustOps("PDM", "NA"),
 			OpsKey:         "PDM@NA",
 			APM:            workload.SingleMaster([]string{"NA"}, "NA"),

@@ -78,6 +78,7 @@ func NewSweep(name string, base func() (*Experiment, error)) *Sweep {
 //	wan.<a>-<b>.mbps              WAN bandwidth between two DCs, Mbps
 //	workloads.<app>.<dc>.ops      operations per user-hour
 //	workloads.<app>.<dc>.peak     population curve rescaled to this peak
+//	workloads.<app>.<dc>.fluid    fluid-tier threshold (arrivals/tick); 0 disables
 //	faults.<name>.magnitude       severity of a declared fault injection
 //	faults.<name>.duration        injected window of a declared injection, seconds
 //
@@ -299,7 +300,7 @@ func (s *Sweep) runPoint(idx int) PointResult {
 }
 
 // pathGrammar documents the supported value-axis paths in errors.
-const pathGrammar = "seed | step | dcs.<dc>.<tier>.cores|servers | dcs.<dc>.clients.slots | wan.<a>-<b>.mbps | workloads.<app>.<dc>.ops|peak | faults.<name>.magnitude|duration"
+const pathGrammar = "seed | step | dcs.<dc>.<tier>.cores|servers | dcs.<dc>.clients.slots | wan.<a>-<b>.mbps | workloads.<app>.<dc>.ops|peak|fluid | faults.<name>.magnitude|duration"
 
 // applyPath sets one settable parameter of the experiment. Errors name the
 // path and what was expected, so a mistyped axis fails with an actionable
@@ -420,7 +421,7 @@ func applyWANPath(e *Experiment, path string, parts []string, v float64) error {
 
 func applyWorkloadPath(e *Experiment, path string, parts []string, v float64) error {
 	if len(parts) != 4 {
-		return pathErr(path, "want workloads.<app>.<dc>.ops|peak")
+		return pathErr(path, "want workloads.<app>.<dc>.ops|peak|fluid")
 	}
 	app, dc, field := parts[1], parts[2], parts[3]
 	var w *Workload
@@ -448,8 +449,16 @@ func applyWorkloadPath(e *Experiment, path string, parts []string, v float64) er
 			return pathErr(path, "workload curve has no positive peak to rescale")
 		}
 		w.Users = w.Users.Scale(v / peak)
+	case "fluid":
+		// Sweep axis over the fluid-tier engagement threshold (expected
+		// arrivals per tick); 0 disables the tier for the point, making
+		// "fluid vs discrete" a one-axis A/B sweep.
+		if v < 0 {
+			return pathErr(path, "fluid threshold must be non-negative")
+		}
+		w.Fluid.Above = v
 	default:
-		return pathErr(path, fmt.Sprintf("unknown workload field %q (want ops or peak)", field))
+		return pathErr(path, fmt.Sprintf("unknown workload field %q (want ops, peak or fluid)", field))
 	}
 	return nil
 }

@@ -148,6 +148,39 @@ func TestSweepRelativePeakAxis(t *testing.T) {
 	}
 }
 
+// TestSweepFluidAxis pins the fluid-threshold axis as a one-axis A/B: at 0
+// the tier is disabled (discrete sampling, no analytic series), at a
+// threshold under the offered per-tick rate the whole flat-curve window is
+// aggregated analytically — zero discrete launches, analytic series in the
+// result.
+func TestSweepFluidAxis(t *testing.T) {
+	s := NewSweep("fluid", testSweepBase()).Vary("workloads.PDM.NA.fluid", 0, 1e-3)
+	res, err := s.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discrete, fluid := res.Points[0].Res, res.Points[1].Res
+	if discrete.Stats.CompletedOps == 0 {
+		t.Error("disabled point completed nothing")
+	}
+	if discrete.Series["fluid:PDM:NA:mode"] != nil {
+		t.Error("disabled point grew analytic series")
+	}
+	if fluid.Stats.CompletedOps != 0 {
+		t.Errorf("fluid point launched %d discrete operations, want 0 (flat curve, whole window analytic)",
+			fluid.Stats.CompletedOps)
+	}
+	s2 := fluid.Series["fluid:PDM:NA:ops"]
+	if s2 == nil || s2.V[len(s2.V)-1] <= 0 {
+		t.Error("fluid point recorded no analytic volume")
+	}
+
+	if err := NewSweep("bad", testSweepBase()).Vary("workloads.PDM.NA.fluid", -1).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "non-negative") {
+		t.Errorf("negative threshold accepted: %v", err)
+	}
+}
+
 // TestSweepVaryFunc covers mutator axes: arbitrary experiment edits run
 // per point, composing with value axes in grid order.
 func TestSweepVaryFunc(t *testing.T) {

@@ -1,0 +1,319 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/hardware"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// testStation is a hand-built station for schedule tests: 8 cores at one
+// op/second per core, with a single reservation target mirroring the
+// bottleneck exactly.
+func testStation(cores int, mu float64) Station {
+	return Station{
+		DC: "NA", Tier: "app", Cores: cores, Mu: mu,
+		Base: 1.0, BaseP90: 2.0,
+		Tiers: []TierLoad{{DC: "NA", Tier: "app", Cores: cores, SvcPerOp: 1 / mu}},
+	}
+}
+
+// TestBuildSegmentsSchedule pins the segment structure on a business-day
+// curve that crosses the threshold twice: contiguous hour-aligned segments,
+// exactly two crossovers (into the business window and out of it), the
+// trailing parked segment, and an ops integral matching the curve.
+func TestBuildSegmentsSchedule(t *testing.T) {
+	const (
+		step  = 0.01
+		dur   = 24 * 3600.0
+		peak  = 3600.0
+		floor = 360.0
+	)
+	users := workload.BusinessDay(peak, 9, 17, floor)
+	// One op per user-hour: the plateau offers 1 op/s = 0.01 per tick, the
+	// night floor 0.001 per tick; Above = 0.005 splits them.
+	cfg := Config{Above: 0.005}
+	segs, err := BuildSegments(users, 1, step, dur, cfg, testStation(8, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 25 {
+		t.Fatalf("got %d segments, want 24 hourly + 1 trailing", len(segs))
+	}
+	for i := 0; i < 24; i++ {
+		if segs[i].Start != float64(i)*3600 || segs[i].End != float64(i+1)*3600 {
+			t.Fatalf("segment %d spans [%v, %v), want hour-aligned", i, segs[i].Start, segs[i].End)
+		}
+	}
+	last := segs[24]
+	if last.Start != dur || !math.IsInf(last.End, 1) || last.Fluid || last.Crossover {
+		t.Fatalf("trailing segment %+v, want parked discrete [duration, +Inf)", last)
+	}
+
+	// Modes must match the compile-time predicate recomputed independently.
+	perUser := 1.0 / 3600
+	for i, s := range segs[:24] {
+		wantFluid := users.Ceiling(s.Start, s.End)*perUser*step >= cfg.Above
+		if s.Fluid != wantFluid {
+			t.Errorf("hour %d: fluid=%v, want %v", i, s.Fluid, wantFluid)
+		}
+	}
+	if !At(segs, 12*3600).Fluid {
+		t.Error("noon plateau should be fluid")
+	}
+	if At(segs, 3*3600).Fluid {
+		t.Error("night floor should be discrete")
+	}
+
+	crossings := 0
+	for i, s := range segs {
+		if s.Crossover {
+			crossings++
+			if i == 0 || segs[i-1].Fluid == s.Fluid {
+				t.Errorf("segment %d marked crossover without a mode flip", i)
+			}
+		}
+	}
+	if crossings != 2 {
+		t.Fatalf("got %d crossovers, want 2 (into and out of the business window)", crossings)
+	}
+	if got := last.CrossBefore; got != 2 {
+		t.Errorf("trailing CrossBefore = %d, want 2", got)
+	}
+
+	// The analytic ops integral: fluid segments accumulate the exact
+	// trapezoid of the linear curve; discrete segments contribute nothing.
+	want := 0.0
+	for _, s := range segs[:24] {
+		if s.Fluid {
+			want += (users.At(s.Start) + users.At(s.End)) / 2 * perUser * (s.End - s.Start)
+		}
+	}
+	if got := OpsAt(segs, dur); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("OpsAt(duration) = %v, want %v", got, want)
+	}
+	// Inside a fluid segment the count grows linearly at the segment rate.
+	mid := At(segs, 12*3600+1800)
+	if !mid.Fluid {
+		t.Fatal("12:30 segment not fluid")
+	}
+	if got, want := OpsAt(segs, 12*3600+1800), mid.OpsStart+mid.Lambda*1800; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mid-segment OpsAt = %v, want %v", got, want)
+	}
+
+	// Fluid analytics: rate 1 op/s on 8 unit-rate cores is nearly waitless,
+	// so occupancy ≈ lambda/mu and the responses sit just above the base.
+	noon := At(segs, 12*3600)
+	if noon.Lambda != 1 {
+		t.Errorf("plateau lambda = %v, want 1", noon.Lambda)
+	}
+	if noon.Rho >= 0.9 || noon.Rho <= 0 {
+		t.Errorf("plateau rho = %v, want in (0, 0.9)", noon.Rho)
+	}
+	if noon.Occupancy < 1 || noon.Occupancy > 1.01 {
+		t.Errorf("plateau occupancy = %v, want ~lambda/mu = 1", noon.Occupancy)
+	}
+	if noon.RespMean < 1 || noon.RespP90 < 2 {
+		t.Errorf("responses (%v, %v) below the station base (1, 2)", noon.RespMean, noon.RespP90)
+	}
+	if len(noon.Reserve) != 1 || noon.Reserve[0] != noon.Rho {
+		t.Errorf("reserve %v, want exactly the ceiling utilization %v at the bottleneck", noon.Reserve, noon.Rho)
+	}
+}
+
+// TestBuildSegmentsFaultWindows pins the fallback contract: segments
+// overlapping an effective fault window are discrete, the window edges
+// become segment boundaries, and the crossovers land exactly there.
+func TestBuildSegmentsFaultWindows(t *testing.T) {
+	users := workload.BusinessDay(100, 0, 24, 100) // flat: always above threshold
+	segs, err := BuildSegments(users, 36, 0.01, 4*3600, Config{Above: 0.001},
+		testStation(8, 1), []Window{{Start: 5400, End: 9000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := []float64{0, 3600, 5400, 7200, 9000, 10800, 14400}
+	if len(segs) != len(wantEdges) { // len-1 real + 1 trailing
+		t.Fatalf("got %d segments, want %d", len(segs), len(wantEdges))
+	}
+	for i, e := range wantEdges[:len(wantEdges)-1] {
+		if segs[i].Start != e {
+			t.Errorf("segment %d starts at %v, want %v", i, segs[i].Start, e)
+		}
+	}
+	for _, tc := range []struct {
+		t     float64
+		fluid bool
+	}{
+		{0, true}, {4000, true}, {5400, false}, {7200, false}, {8999, false},
+		{9000, true}, {12000, true},
+	} {
+		if got := At(segs, tc.t).Fluid; got != tc.fluid {
+			t.Errorf("t=%v: fluid=%v, want %v", tc.t, got, tc.fluid)
+		}
+	}
+	for _, s := range segs {
+		if s.Crossover && s.Start != 5400 && s.Start != 9000 {
+			t.Errorf("unexpected crossover at %v", s.Start)
+		}
+	}
+	if At(segs, 9000).CrossBefore != 2 {
+		t.Errorf("CrossBefore at recovery = %d, want 2", At(segs, 9000).CrossBefore)
+	}
+}
+
+// TestBuildSegmentsSaturationGuard pins the guard ordering: a rate whose
+// ceiling utilization reaches RhoMax stays discrete — BuildSegments returns
+// no error, because the analytic model is never consulted past the guard.
+func TestBuildSegmentsSaturationGuard(t *testing.T) {
+	st := testStation(1, 1)
+	flat := func(users float64) workload.Curve {
+		return workload.BusinessDay(users, 0, 24, users)
+	}
+	// 3600 users at 1 op/user-hour = 1 op/s on a 1-core unit-rate station:
+	// rho ceiling 1.0 — at the stability boundary, guarded to discrete.
+	segs, err := BuildSegments(flat(3600), 1, 0.01, 7200, Config{Above: 0.001}, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s.Fluid {
+			t.Fatalf("segment [%v, %v) fluid at rho ceiling 1.0", s.Start, s.End)
+		}
+	}
+	// A tighter guard rejects loads the default accepts.
+	segs, err = BuildSegments(flat(2160), 1, 0.01, 7200, Config{Above: 0.001, RhoMax: 0.5}, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if At(segs, 0).Fluid {
+		t.Error("rho 0.6 fluid under a 0.5 guard")
+	}
+	segs, err = BuildSegments(flat(1440), 1, 0.01, 7200, Config{Above: 0.001, RhoMax: 0.5}, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !At(segs, 0).Fluid {
+		t.Error("rho 0.4 discrete under a 0.5 guard")
+	}
+}
+
+// TestBuildSegmentsValidation pins the assembly errors.
+func TestBuildSegmentsValidation(t *testing.T) {
+	users := workload.BusinessDay(100, 0, 24, 100)
+	st := testStation(8, 1)
+	if _, err := BuildSegments(users, 1, 0.01, 3600, Config{}, st, nil); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := BuildSegments(users, 1, 0.01, 3600, Config{Above: 1, RhoMax: 1}, st, nil); err == nil {
+		t.Error("RhoMax 1 accepted")
+	}
+	if _, err := BuildSegments(users, 1, 0, 3600, Config{Above: 1}, st, nil); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := BuildSegments(users, 1, 0.01, 3600, Config{Above: 1}, Station{}, nil); err == nil {
+		t.Error("empty station accepted")
+	}
+}
+
+// TestDeriveStationPDM derives the station of the PDM mix on a two-tier
+// platform and checks the accounting: one TierLoad per loaded tier in
+// sorted order, the bottleneck maximizing utilization per unit rate, and
+// reservations proportional to per-tier demand.
+func TestDeriveStationPDM(t *testing.T) {
+	srv := topology.ServerSpec{
+		CPU:     hardware.CPUSpec{Sockets: 1, Cores: 8, GHz: 2.5},
+		MemGB:   32,
+		NICGbps: 10,
+		RAID: &hardware.RAIDSpec{
+			Disks: 2, Disk: hardware.DiskSpec{CtrlGbps: 4, MBps: 150, HitRate: 0.1},
+			CtrlGbps: 4, HitRate: 0.05,
+		},
+	}
+	local := hardware.LinkSpec{Gbps: 10, LatencyMS: 0.45}
+	spec := topology.InfraSpec{
+		DCs: []topology.DCSpec{{
+			Name: "NA", SwitchGbps: 20,
+			ClientLink: hardware.LinkSpec{Gbps: 10, LatencyMS: 0.5},
+			Tiers: []topology.TierSpec{
+				{Name: "app", Servers: 2, Server: srv, LocalLink: local},
+				{Name: "db", Servers: 1, Server: srv, LocalLink: local},
+			},
+		}},
+		Clients: map[string]topology.ClientSpec{
+			"NA": {Slots: 8, NICGbps: 1, GHz: 2.5, DiskMBs: 120},
+		},
+	}
+	sim := core.NewSimulation(core.Config{Step: 0.01, Seed: 1})
+	defer sim.Shutdown()
+	inf, err := topology.Build(sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := inf.DC("NA")
+	st, err := DeriveStation(inf, na, na, apps.PDMOps(), nil, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(st.Tiers) != 2 {
+		t.Fatalf("got %d tier loads %+v, want app and db", len(st.Tiers), st.Tiers)
+	}
+	if st.Tiers[0].Tier != "app" || st.Tiers[1].Tier != "db" {
+		t.Fatalf("tier order %+v, want sorted [app db]", st.Tiers)
+	}
+	for _, tl := range st.Tiers {
+		if tl.SvcPerOp <= 0 {
+			t.Errorf("tier %s/%s: non-positive demand %v", tl.DC, tl.Tier, tl.SvcPerOp)
+		}
+	}
+	// Bottleneck = argmax demand per core; Mu is its inverse demand.
+	best, bestU := -1, -1.0
+	for i, tl := range st.Tiers {
+		if u := tl.SvcPerOp / float64(tl.Cores); u > bestU {
+			best, bestU = i, u
+		}
+	}
+	bl := st.Tiers[best]
+	if st.DC != bl.DC || st.Tier != bl.Tier || st.Cores != bl.Cores {
+		t.Errorf("bottleneck %s/%s c=%d, want %s/%s c=%d", st.DC, st.Tier, st.Cores, bl.DC, bl.Tier, bl.Cores)
+	}
+	if got, want := st.Mu, 1/bl.SvcPerOp; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mu = %v, want %v", got, want)
+	}
+	if st.Base <= 0 || st.BaseP90 < st.Base {
+		t.Errorf("base durations (%v, %v): want positive mean and p90 >= mean-ish ordering", st.Base, st.BaseP90)
+	}
+
+	fr := st.reserveFracs(0.5)
+	for i, tl := range st.Tiers {
+		if want := 0.5 * tl.SvcPerOp / float64(tl.Cores); math.Abs(fr[i]-want) > 1e-12 {
+			t.Errorf("reserve[%d] = %v, want %v", i, fr[i], want)
+		}
+	}
+	if fr[best] != 0.5/(float64(st.Cores)*st.Mu) {
+		t.Errorf("bottleneck reserve %v != lambda/(c*mu) %v", fr[best], 0.5/(float64(st.Cores)*st.Mu))
+	}
+
+	// Weighted derivation: putting all mass on one op must move the demand
+	// accounting with it.
+	w := make([]float64, len(apps.PDMOps()))
+	w[0] = 1
+	st2, err := DeriveStation(inf, na, na, apps.PDMOps(), w, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Tiers[1].SvcPerOp == st.Tiers[1].SvcPerOp {
+		t.Error("degenerate weights left the db demand at the uniform mix value")
+	}
+
+	if _, err := DeriveStation(inf, na, na, nil, nil, 0.01); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := DeriveStation(inf, na, na, apps.PDMOps(), []float64{1}, 0.01); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+}

@@ -50,6 +50,9 @@ type CPU struct {
 	spec    CPUSpec
 	sockets []*queueing.FCFS
 	rr      int
+
+	derate  float64 // fault brown-out factor in (0, 1]; 1 = healthy
+	reserve float64 // fluid-tier reserved capacity fraction in [0, 1)
 }
 
 // NewCPU creates and registers a CPU agent.
@@ -60,7 +63,7 @@ func NewCPU(sim *core.Simulation, name string, spec CPUSpec) *CPU {
 	if spec.HTFactor <= 0 {
 		spec.HTFactor = 1
 	}
-	c := &CPU{spec: spec}
+	c := &CPU{spec: spec, derate: 1}
 	rate := spec.GHz * 1e9 * spec.HTFactor // cycles per second per core
 	for i := 0; i < spec.Sockets; i++ {
 		q := queueing.NewFCFS(spec.Cores, rate)
@@ -93,7 +96,36 @@ func (c *CPU) Derate(factor float64) {
 	if factor <= 0 || factor > 1 {
 		panic(fmt.Sprintf("hardware: CPU derate factor %v outside (0, 1]", factor))
 	}
-	rate := c.spec.GHz * 1e9 * c.spec.HTFactor * factor
+	c.derate = factor
+	c.applyRate()
+}
+
+// Reserve withholds a fraction of every core's capacity for analytically
+// aggregated (fluid) traffic: discrete tasks see only the residual rate, so
+// a tier shared between a fluid flow and discrete cascades reports honest
+// queueing for the latter. The fraction is absolute — successive calls
+// replace, not compound — and composes multiplicatively with any fault
+// Derate in effect. Like Derate, callers must invoke it from a sequential
+// phase and bracket it with Sync/MarkDirty on this agent (the
+// topology.Tier.ReserveCPU helper does). Panics outside [0, 1): a flow
+// claiming the whole tier must be rejected by the fluid saturation guard
+// upstream, not silently zero the rate.
+func (c *CPU) Reserve(frac float64) {
+	if frac < 0 || frac >= 1 {
+		panic(fmt.Sprintf("hardware: CPU reserve fraction %v outside [0, 1)", frac))
+	}
+	c.reserve = frac
+	c.applyRate()
+}
+
+// Reserved returns the capacity fraction currently withheld by Reserve.
+func (c *CPU) Reserved() float64 { return c.reserve }
+
+// applyRate recomputes the per-core service rate from the spec and the two
+// absolute factors. In-service tasks finish their remaining cycles at the
+// new rate.
+func (c *CPU) applyRate() {
+	rate := c.spec.GHz * 1e9 * c.spec.HTFactor * c.derate * (1 - c.reserve)
 	for _, s := range c.sockets {
 		s.SetRate(rate)
 	}

@@ -1,6 +1,7 @@
 package queueing
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -10,9 +11,16 @@ import (
 // simulated queues and are used in tests to cross-validate the discrete-time
 // implementations against theory.
 
+// ErrSaturated reports an offered load at or above system capacity
+// (rho = a/c >= 1): the steady-state M/M/c quantities do not exist there.
+// Callers that must distinguish saturation from argument errors — the fluid
+// tier's saturation guard is designed to trip strictly before this —
+// detect it with errors.Is.
+var ErrSaturated = errors.New("queueing: offered load at or above capacity")
+
 // ErlangC returns the probability that an arriving customer must wait in an
 // M/M/c system with offered load a = lambda/mu (in Erlangs). It requires
-// a < c for stability.
+// a < c for stability and wraps ErrSaturated otherwise.
 func ErlangC(c int, a float64) (float64, error) {
 	if c <= 0 {
 		return 0, fmt.Errorf("queueing: ErlangC needs c > 0, got %d", c)
@@ -21,7 +29,7 @@ func ErlangC(c int, a float64) (float64, error) {
 		return 0, fmt.Errorf("queueing: ErlangC needs a >= 0, got %v", a)
 	}
 	if a >= float64(c) {
-		return 0, fmt.Errorf("queueing: unstable system a=%v >= c=%d", a, c)
+		return 0, fmt.Errorf("queueing: unstable system a=%v >= c=%d: %w", a, c, ErrSaturated)
 	}
 	// Iterative Erlang-B then convert to Erlang-C for numerical stability.
 	b := 1.0
@@ -68,6 +76,80 @@ func (m MMc) MeanQueueLength() (float64, error) {
 		return 0, err
 	}
 	return m.Lambda * wq, nil
+}
+
+// WaitQuantile returns the p-quantile of the waiting time Wq. The M/M/c
+// FCFS waiting time is a mixture of an atom at zero (probability 1 - Pw,
+// Pw from Erlang C) and an Exp(c*mu - lambda) excursion, so the quantile
+// has the closed form max(0, ln(Pw/(1-p)) / (c*mu - lambda)) — exact, no
+// approximation.
+func (m MMc) WaitQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("queueing: quantile needs 0 < p < 1, got %v", p)
+	}
+	pw, err := ErlangC(m.C, m.Lambda/m.Mu)
+	if err != nil {
+		return 0, err
+	}
+	if pw <= 1-p {
+		return 0, nil
+	}
+	theta := float64(m.C)*m.Mu - m.Lambda
+	return math.Log(pw/(1-p)) / theta, nil
+}
+
+// ResponseQuantile returns the p-quantile of the sojourn time T = Wq + S.
+// The exact M/M/c FCFS sojourn tail is a two-exponential mixture,
+//
+//	P(T > t) = (1-Pw) e^{-mu t} + Pw (theta e^{-mu t} - mu e^{-theta t}) / (theta - mu)
+//
+// with theta = c*mu - lambda (degenerating to e^{-mu t}(1 + Pw mu t) when
+// theta = mu, and to the pure exponential Exp(mu - lambda) tail at c = 1).
+// The quantile inverts this tail by bisection; the bracketing loop and 200
+// halvings bound the numerical error by ~1e-12 relative, so the returned
+// value is exact for the M/M/c abstraction — the only modeling error a
+// caller inherits is the M/M/c abstraction of the station itself, not this
+// inversion. For quantiles of the mean-field fluid tier the exponential
+// service assumption overestimates high percentiles of near-deterministic
+// services (an Exp(mu) p90 is ln(10)/mu ≈ 2.3 service means); callers
+// wanting "queueing-delay p90 on top of a measured base" should therefore
+// combine WaitQuantile with their own base percentile, which is what
+// internal/fluid does.
+func (m MMc) ResponseQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("queueing: quantile needs 0 < p < 1, got %v", p)
+	}
+	pw, err := ErlangC(m.C, m.Lambda/m.Mu)
+	if err != nil {
+		return 0, err
+	}
+	mu := m.Mu
+	theta := float64(m.C)*mu - m.Lambda
+	tail := func(t float64) float64 {
+		if math.Abs(theta-mu) < 1e-12*mu {
+			return math.Exp(-mu*t) * (1 + pw*mu*t)
+		}
+		return (1-pw)*math.Exp(-mu*t) + pw*(theta*math.Exp(-mu*t)-mu*math.Exp(-theta*t))/(theta-mu)
+	}
+	target := 1 - p
+	// Bracket: the tail decays at least as fast as the slower of the two
+	// exponentials, so growing the upper bound geometrically terminates.
+	lo, hi := 0.0, 1/mu
+	for tail(hi) > target {
+		hi *= 2
+		if hi > 1e18 {
+			return 0, fmt.Errorf("queueing: ResponseQuantile failed to bracket p=%v", p)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if tail(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
 }
 
 // MM1PS gives the mean sojourn time of an M/M/1 processor-sharing queue,

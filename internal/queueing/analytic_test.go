@@ -1,6 +1,7 @@
 package queueing
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -163,5 +164,124 @@ func TestRequiredServers(t *testing.T) {
 	}
 	if _, err := RequiredServers(-1, 1, 1); err == nil {
 		t.Error("negative lambda should error")
+	}
+}
+
+func TestErlangCSaturatedTyped(t *testing.T) {
+	for _, tc := range []struct{ c int; a float64 }{{1, 1}, {2, 2}, {4, 7.5}} {
+		_, err := ErlangC(tc.c, tc.a)
+		if !errors.Is(err, ErrSaturated) {
+			t.Errorf("ErlangC(%d,%v) = %v, want ErrSaturated", tc.c, tc.a, err)
+		}
+	}
+	// Argument errors are not saturation.
+	if _, err := ErlangC(0, 0.5); errors.Is(err, ErrSaturated) {
+		t.Error("ErlangC(0,...) should not be ErrSaturated")
+	}
+	if _, err := ErlangC(2, -1); errors.Is(err, ErrSaturated) {
+		t.Error("ErlangC with negative load should not be ErrSaturated")
+	}
+}
+
+// TestSaturationGuardTripsFirst is the fluid-tier guard property: whenever a
+// ceiling utilization stays strictly below a guard value below one — the
+// exact predicate internal/fluid uses to admit a segment to the analytic
+// path — Erlang C evaluated at any load up to that ceiling cannot return
+// ErrSaturated, so the guard always trips strictly before the analytic
+// machinery errors.
+func TestSaturationGuardTripsFirst(t *testing.T) {
+	prop := func(cRaw uint8, muRaw, guardRaw, loadRaw uint16) bool {
+		c := int(cRaw)%64 + 1
+		mu := 0.01 + float64(muRaw)/65535*100
+		guard := 0.05 + float64(guardRaw)/65535*0.94 // in [0.05, 0.99]
+		rhoCeil := float64(loadRaw) / 65535 * 1.5    // offered ceilings up to 1.5x capacity
+		lambdaCeil := rhoCeil * float64(c) * mu
+		if rhoCeil >= guard {
+			return true // guard trips: the fluid tier stays discrete, ErlangC is never consulted
+		}
+		for _, frac := range []float64{0.1, 0.5, 1.0} {
+			if _, err := ErlangC(c, frac*lambdaCeil/mu); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaitQuantileKnownValues(t *testing.T) {
+	// M/M/1: Pw = rho, so the p-quantile is ln(rho/(1-p))/(mu-lambda) when
+	// positive.
+	m := MMc{C: 1, Lambda: 0.6, Mu: 1}
+	q, err := m.WaitQuantile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Log(0.6/0.1) / (1 - 0.6); math.Abs(q-want) > 1e-9 {
+		t.Errorf("WaitQuantile(0.9) = %v, want %v", q, want)
+	}
+	// Below the zero atom the quantile is exactly zero: P(W=0) = 1-Pw = 0.4.
+	q, err = m.WaitQuantile(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 0 {
+		t.Errorf("WaitQuantile(0.3) = %v, want 0 (inside the atom)", q)
+	}
+}
+
+func TestResponseQuantileKnownValues(t *testing.T) {
+	// M/M/1 FCFS sojourn is exactly Exp(mu-lambda).
+	m := MMc{C: 1, Lambda: 0.5, Mu: 2}
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		q, err := m.ResponseQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := -math.Log(1-p) / (2 - 0.5)
+		if math.Abs(q-want) > 1e-9*want {
+			t.Errorf("ResponseQuantile(%v) = %v, want %v", p, q, want)
+		}
+	}
+	// Vanishing load, any c: the sojourn degenerates to the service time
+	// Exp(mu).
+	m = MMc{C: 8, Lambda: 1e-9, Mu: 3}
+	q, err := m.ResponseQuantile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := -math.Log(0.1) / 3; math.Abs(q-want) > 1e-6*want {
+		t.Errorf("light-load ResponseQuantile(0.9) = %v, want %v", q, want)
+	}
+}
+
+func TestResponseQuantileMonotoneAndConsistent(t *testing.T) {
+	m := MMc{C: 4, Lambda: 3.2, Mu: 1}
+	prev := 0.0
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		q, err := m.ResponseQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q <= prev {
+			t.Errorf("ResponseQuantile not increasing: p=%v -> %v after %v", p, q, prev)
+		}
+		prev = q
+	}
+	// The sojourn quantile dominates the waiting quantile at every p.
+	for _, p := range []float64{0.5, 0.9} {
+		wq, err := m.WaitQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, err := m.ResponseQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rq <= wq {
+			t.Errorf("ResponseQuantile(%v)=%v <= WaitQuantile(%v)=%v", p, rq, p, wq)
+		}
 	}
 }

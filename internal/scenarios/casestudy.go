@@ -33,6 +33,10 @@ type CaseConfig struct {
 	// studies); DisableBackground drops the SR/IB daemons.
 	DisableClients    bool
 	DisableBackground bool
+	// Fluid engages the analytic client-aggregation tier on every client
+	// workload when Fluid.Above > 0 (see experiment.WithFluid). NoFluid
+	// below structurally disables it — bit-identical to never setting it.
+	Fluid experiment.Fluid
 	// NoFastForward forces the plain tick-by-tick loop; NoCalendar keeps
 	// fast-forward but restores the scan-based jump sizing; NoBulkDense
 	// keeps the calendar but restores lock-step sweeps and drains. Results
@@ -54,6 +58,7 @@ type CaseConfig struct {
 	NoShards       bool
 	NoStretch      bool
 	NoCrossStretch bool
+	NoFluid        bool
 }
 
 // defaults fills the scenario-specific zero values. The shared defaults
@@ -82,6 +87,7 @@ func (c *CaseConfig) loopFlags() experiment.LoopFlags {
 		NoShards:       c.NoShards,
 		NoStretch:      c.NoStretch,
 		NoCrossStretch: c.NoCrossStretch,
+		NoFluid:        c.NoFluid,
 	}
 }
 
@@ -266,6 +272,11 @@ func caseWorkloads(cfg CaseConfig, spec topology.InfraSpec, traits map[string]dc
 				ew.Ops = pdmOps
 			}
 			opts = append(opts, experiment.WithWorkload(ew))
+			if cfg.Fluid.Above > 0 {
+				// Options apply in order, so the fluid configuration always
+				// finds its workload already declared.
+				opts = append(opts, experiment.WithFluid(w.app, dc, cfg.Fluid))
+			}
 		}
 	}
 	return opts

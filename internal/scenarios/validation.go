@@ -83,12 +83,17 @@ type ValidationConfig struct {
 	// every window — the A/B baseline for Chandy-Misra window stretching.
 	// NoCrossStretch keeps stretching but blocks spans while cross-DC
 	// traffic is live — the A/B baseline for mid-span mailbox delivery.
+	// NoFluid structurally disables the fluid client-aggregation tier.
+	// The validation scenario launches series, not declarative workloads,
+	// so the flag is a no-op here — carried for A/B symmetry with the
+	// other scenarios (results are bit-identical either way).
 	NoFastForward  bool
 	NoCalendar     bool
 	NoBulkDense    bool
 	NoShards       bool
 	NoStretch      bool
 	NoCrossStretch bool
+	NoFluid        bool
 }
 
 func (c *ValidationConfig) defaults() error {
@@ -123,6 +128,7 @@ func (c *ValidationConfig) loopFlags() experiment.LoopFlags {
 		NoShards:       c.NoShards,
 		NoStretch:      c.NoStretch,
 		NoCrossStretch: c.NoCrossStretch,
+		NoFluid:        c.NoFluid,
 	}
 }
 

@@ -45,6 +45,20 @@ func (inf *Infrastructure) RepairWAN(a, b string) {
 	}
 }
 
+// ReserveCPU withholds the given capacity fraction on every server CPU of
+// the tier for analytically aggregated (fluid) traffic, bracketing each
+// mutation with Sync/MarkDirty like the fault helpers above. The fraction
+// is absolute (successive calls replace); zero releases the reservation.
+// Must be called from a sequential phase — the fluid crossover controller
+// is a global core.Source, so its polls qualify.
+func (t *Tier) ReserveCPU(frac float64) {
+	for _, s := range t.Servers {
+		s.CPU.Sync()
+		s.CPU.Reserve(frac)
+		s.CPU.MarkDirty()
+	}
+}
+
 // IsolateDC fails every WAN link — primary and backup, both directions —
 // touching the named DC: a full data-center blackout as seen from the rest
 // of the platform. Local traffic inside the DC (clients on its own tiers)

@@ -249,6 +249,19 @@ func (w *AppWorkload) sampleNext(from float64) {
 	}
 }
 
+// ResetPending discards any committed thinned arrival, returning the
+// workload to per-tick mode from its next poll (which re-enters gap
+// sampling from the poll instant when the rate is sparse). The fluid tier
+// calls it when a workload re-crosses from analytic back to discrete
+// sampling: a pending instant committed before the fluid window would
+// otherwise replay a stale arrival. No RNG draws are made, so the call is
+// span-safe.
+func (w *AppWorkload) ResetPending() {
+	if w.rng != nil {
+		w.pending = math.NaN()
+	}
+}
+
 // NextPoll reports the workload's real schedule. Per-tick (dense) mode
 // polls every tick while the population curve is positive and skips
 // hard-zero stretches via NextPositive; thinned (sparse) mode reports the
